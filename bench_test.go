@@ -1,0 +1,105 @@
+package tends
+
+// Benchmarks regenerating the paper's evaluation, one per table and figure.
+//
+// Each BenchmarkFigN iteration executes the figure's full pipeline —
+// network generation, diffusion simulation, and every compared algorithm at
+// every sweep point — on a β-scaled workload (the paper's observation
+// counts divided by ~3, floored at 30) so that `go test -bench=.` completes
+// in minutes. The unscaled figures, with their full tables, are produced by
+// `go run ./cmd/benchfig -all`; EXPERIMENTS.md records those results
+// against the paper's claims.
+//
+// The mean TENDS F-score across the figure's sweep is reported as the
+// custom metric "F(TENDS)" so regressions in reconstruction quality show up
+// in benchmark diffs, not only regressions in speed.
+
+import (
+	"testing"
+
+	"tends/internal/experiments"
+	"tends/internal/lfr"
+)
+
+const (
+	benchBetaScale = 0.34
+	benchMinBeta   = 30
+)
+
+func runFigure(b *testing.B, figNum int) {
+	fig, ok := experiments.Figures()[figNum]
+	if !ok {
+		b.Fatalf("unknown figure %d", figNum)
+	}
+	fig = experiments.ScaleBeta(fig, benchBetaScale, benchMinBeta)
+	b.ReportAllocs()
+	var fSum float64
+	var fCount int
+	for i := 0; i < b.N; i++ {
+		ms, err := experiments.Run(fig, experiments.Config{Seed: int64(i + 1)}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, m := range ms {
+			if m.Err != nil {
+				b.Fatalf("%s/%s: %v", m.Point, m.Algorithm, m.Err)
+			}
+			if m.Algorithm == experiments.AlgoTENDS {
+				fSum += m.F
+				fCount++
+			}
+		}
+	}
+	if fCount > 0 {
+		b.ReportMetric(fSum/float64(fCount), "F(TENDS)")
+	}
+}
+
+// BenchmarkTable2LFR generates the fifteen LFR benchmark graphs of
+// Table II.
+func BenchmarkTable2LFR(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for idx := 1; idx <= 15; idx++ {
+			if _, err := lfr.GenerateBenchmark(idx, int64(i+1)); err != nil {
+				b.Fatalf("LFR%d: %v", idx, err)
+			}
+		}
+	}
+}
+
+// BenchmarkFig1NetworkSize — effect of diffusion network size (LFR1–5).
+func BenchmarkFig1NetworkSize(b *testing.B) { runFigure(b, 1) }
+
+// BenchmarkFig2AvgDegree — effect of average node degree (LFR6–10).
+func BenchmarkFig2AvgDegree(b *testing.B) { runFigure(b, 2) }
+
+// BenchmarkFig3Dispersion — effect of node degree dispersion (LFR11–15).
+func BenchmarkFig3Dispersion(b *testing.B) { runFigure(b, 3) }
+
+// BenchmarkFig4AlphaNetSci — effect of initial infection ratio on NetSci.
+func BenchmarkFig4AlphaNetSci(b *testing.B) { runFigure(b, 4) }
+
+// BenchmarkFig5AlphaDUNF — effect of initial infection ratio on DUNF.
+func BenchmarkFig5AlphaDUNF(b *testing.B) { runFigure(b, 5) }
+
+// BenchmarkFig6MuNetSci — effect of propagation probability on NetSci.
+func BenchmarkFig6MuNetSci(b *testing.B) { runFigure(b, 6) }
+
+// BenchmarkFig7MuDUNF — effect of propagation probability on DUNF.
+func BenchmarkFig7MuDUNF(b *testing.B) { runFigure(b, 7) }
+
+// BenchmarkFig8BetaNetSci — effect of the number of diffusion processes on
+// NetSci.
+func BenchmarkFig8BetaNetSci(b *testing.B) { runFigure(b, 8) }
+
+// BenchmarkFig9BetaDUNF — effect of the number of diffusion processes on
+// DUNF.
+func BenchmarkFig9BetaDUNF(b *testing.B) { runFigure(b, 9) }
+
+// BenchmarkFig10PruningNetSci — effect of the infection MI-based pruning
+// (threshold sweep + traditional-MI ablation) on NetSci.
+func BenchmarkFig10PruningNetSci(b *testing.B) { runFigure(b, 10) }
+
+// BenchmarkFig11PruningDUNF — the same pruning study on DUNF.
+func BenchmarkFig11PruningDUNF(b *testing.B) { runFigure(b, 11) }

@@ -1,0 +1,223 @@
+// Command benchfig regenerates the paper's evaluation figures. Each figure
+// is a parameter sweep over a workload with the algorithms the paper
+// compares; the output is the same pair of series each figure plots —
+// F-score and running time per sweep point per algorithm.
+//
+// Usage:
+//
+//	benchfig -fig 1            # regenerate Figure 1
+//	benchfig -all              # all figures (long!)
+//	benchfig -fig 4 -repeats 3 # average over 3 simulation repeats
+//	benchfig -fig 8 -csv out.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"tends/internal/datasets"
+	"tends/internal/experiments"
+	"tends/internal/graph"
+)
+
+func main() {
+	var (
+		figNum   = flag.Int("fig", 0, "figure number to regenerate (1..11)")
+		all      = flag.Bool("all", false, "regenerate every figure")
+		ablation = flag.String("ablation", "", "run an ablation instead: threshold, greedy, pruning, penalty, treemodel")
+		ext      = flag.String("ext", "", "run an extension study instead: noise, missing, mismatch, timestamps")
+		repeats  = flag.Int("repeats", 1, "simulation repeats averaged per point")
+		seed     = flag.Int64("seed", 1, "base RNG seed")
+		csvPath  = flag.String("csv", "", "also write raw measurements as CSV")
+		algos    = flag.String("algos", "", "comma-separated algorithm override, e.g. TENDS,NetInf,PATH")
+		quiet    = flag.Bool("quiet", false, "suppress per-cell progress output")
+	)
+	flag.Parse()
+	if *ablation != "" {
+		if err := runAblation(*ablation, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "benchfig: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *ext != "" {
+		if err := runExtension(*ext, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "benchfig: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*figNum, *all, *repeats, *seed, *csvPath, *algos, *quiet); err != nil {
+		fmt.Fprintf(os.Stderr, "benchfig: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parseAlgos turns a comma-separated override like "TENDS,NetInf,PATH" into
+// an algorithm list, validating every name.
+func parseAlgos(spec string) ([]experiments.Algorithm, error) {
+	known := map[string]experiments.Algorithm{
+		"TENDS":    experiments.AlgoTENDS,
+		"TENDS-MI": experiments.AlgoTENDSMI,
+		"NETRATE":  experiments.AlgoNetRate,
+		"MULTREE":  experiments.AlgoMulTree,
+		"NETINF":   experiments.AlgoNetInf,
+		"LIFT":     experiments.AlgoLIFT,
+		"PATH":     experiments.AlgoPATH,
+	}
+	var out []experiments.Algorithm
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		algo, ok := known[strings.ToUpper(name)]
+		if !ok {
+			return nil, fmt.Errorf("unknown algorithm %q", name)
+		}
+		out = append(out, algo)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty algorithm list %q", spec)
+	}
+	return out, nil
+}
+
+// runExtension executes one of the robustness extension studies (DESIGN.md
+// §6) on the NetSci-stand-in workload.
+func runExtension(name string, seed int64) error {
+	network := func(s int64) (*graph.Directed, error) { return datasets.NetSci(s), nil }
+	var (
+		points []experiments.ExtensionPoint
+		err    error
+	)
+	switch name {
+	case "noise":
+		points, err = experiments.NoiseRobustness(network, []float64{0, 0.01, 0.02, 0.05, 0.1}, seed)
+	case "missing":
+		points, err = experiments.MissingRobustness(network, []float64{0, 0.05, 0.1, 0.2, 0.3}, seed)
+	case "mismatch":
+		points, err = experiments.ModelMismatch(network, seed)
+	case "timestamps":
+		points, err = experiments.TimestampNoise(network, []float64{0, 0.5, 1, 2}, seed)
+	default:
+		return fmt.Errorf("unknown extension %q (want noise, missing, mismatch, timestamps)", name)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("extension %q on NetSci stand-in (beta=150, alpha=0.15, mu=0.3, seed=%d)\n\n", name, seed)
+	fmt.Printf("%-24s %8s %10s %10s %8s %12s\n", "point", "F", "precision", "recall", "edges", "time")
+	for _, p := range points {
+		fmt.Printf("%-24s %8.3f %10.3f %10.3f %8d %12v\n",
+			p.Label, p.PRF.F, p.PRF.Precision, p.PRF.Recall, p.Edges, p.Runtime.Round(time.Millisecond))
+	}
+	return nil
+}
+
+// runAblation executes one of the DESIGN.md §6 ablation studies on the
+// NetSci-stand-in workload at the paper's default settings.
+func runAblation(name string, seed int64) error {
+	w, err := experiments.NewAblationWorkload(
+		func(s int64) (*graph.Directed, error) { return datasets.NetSci(s), nil },
+		0.3, 0.15, 150, seed)
+	if err != nil {
+		return err
+	}
+	var results []experiments.AblationResult
+	switch name {
+	case "threshold":
+		results, err = experiments.ThresholdAblation(w)
+	case "greedy":
+		results, err = experiments.GreedyAblation(w)
+	case "pruning":
+		results, err = experiments.PruningAblation(w)
+	case "penalty":
+		results, err = experiments.PenaltyAblation(w)
+	case "treemodel":
+		results, err = experiments.TreeModelAblation(w)
+	default:
+		return fmt.Errorf("unknown ablation %q (want threshold, greedy, pruning, penalty, treemodel)", name)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ablation %q on NetSci stand-in (beta=150, alpha=0.15, mu=0.3, seed=%d)\n\n", name, seed)
+	fmt.Printf("%-32s %8s %10s %10s %8s %12s\n", "variant", "F", "precision", "recall", "edges", "time")
+	for _, r := range results {
+		fmt.Printf("%-32s %8.3f %10.3f %10.3f %8d %12v\n",
+			r.Variant, r.PRF.F, r.PRF.Precision, r.PRF.Recall, r.Edges, r.Runtime.Round(time.Millisecond))
+	}
+	return nil
+}
+
+func run(figNum int, all bool, repeats int, seed int64, csvPath, algos string, quiet bool) error {
+	figs := experiments.Figures()
+	var ids []int
+	switch {
+	case all:
+		ids = experiments.FigureIDs()
+	case figNum != 0:
+		if _, ok := figs[figNum]; !ok {
+			return fmt.Errorf("unknown figure %d (have 1..11)", figNum)
+		}
+		ids = []int{figNum}
+	default:
+		return fmt.Errorf("one of -fig or -all is required")
+	}
+	var algoOverride []experiments.Algorithm
+	if algos != "" {
+		var err error
+		algoOverride, err = parseAlgos(algos)
+		if err != nil {
+			return err
+		}
+	}
+
+	progress := os.Stderr
+	var progressW *os.File
+	if !quiet {
+		progressW = progress
+	}
+	var allMeasurements []experiments.Measurement
+	for _, id := range ids {
+		fig := figs[id]
+		if algoOverride != nil {
+			fig = experiments.SelectAlgorithms(fig, algoOverride...)
+		}
+		ms, err := experiments.Run(fig, experiments.Config{Seed: seed, Repeats: repeats}, fileOrNil(progressW))
+		if err != nil {
+			return err
+		}
+		if err := experiments.WriteTable(os.Stdout, fig, ms); err != nil {
+			return err
+		}
+		allMeasurements = append(allMeasurements, ms...)
+	}
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		if err := experiments.WriteCSV(f, allMeasurements); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	return nil
+}
+
+// fileOrNil converts a possibly nil *os.File into the io.Writer the harness
+// expects without wrapping a typed nil in a non-nil interface.
+func fileOrNil(f *os.File) interfaceWriter {
+	if f == nil {
+		return nil
+	}
+	return f
+}
+
+type interfaceWriter interface{ Write(p []byte) (int, error) }

@@ -1,0 +1,42 @@
+package main
+
+import "testing"
+
+func TestParseAlgos(t *testing.T) {
+	algos, err := parseAlgos("TENDS, netinf ,PATH")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(algos) != 3 {
+		t.Fatalf("algos = %v", algos)
+	}
+	if _, err := parseAlgos("bogus"); err == nil {
+		t.Fatal("unknown algorithm should fail")
+	}
+	if _, err := parseAlgos(" , "); err == nil {
+		t.Fatal("empty list should fail")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run(0, false, 1, 1, "", "", true); err == nil {
+		t.Fatal("no figure selected should fail")
+	}
+	if err := run(99, false, 1, 1, "", "", true); err == nil {
+		t.Fatal("unknown figure should fail")
+	}
+	if err := run(1, false, 1, 1, "", "bogus", true); err == nil {
+		t.Fatal("bad -algos should fail before any work")
+	}
+}
+
+func TestRunAblationValidation(t *testing.T) {
+	// Unknown names must fail; note the workload is simulated before the
+	// dispatch, so this still costs one NetSci simulation (~1s).
+	if err := runAblation("bogus", 1); err == nil {
+		t.Fatal("unknown ablation should fail")
+	}
+	if err := runExtension("bogus", 1); err == nil {
+		t.Fatal("unknown extension should fail")
+	}
+}

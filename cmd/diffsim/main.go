@@ -1,0 +1,147 @@
+// Command diffsim simulates independent-cascade diffusion processes on a
+// network and writes the resulting observation files: the final infection
+// statuses (consumed by `tends`) and optionally the ground-truth graph and
+// full cascades.
+//
+// Usage:
+//
+//	diffsim -graph net.txt -beta 150 -alpha 0.15 -mu 0.3 -seed 1 \
+//	        -status statuses.txt [-cascades cascades.txt]
+//
+// When -graph is omitted, a network can be generated in place with
+// -gen lfr:3 (LFR benchmark index), -gen netsci, or -gen dunf; the
+// ground-truth graph is then written to -truth.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"tends/internal/datasets"
+	"tends/internal/diffusion"
+	"tends/internal/graph"
+	"tends/internal/lfr"
+)
+
+func main() {
+	var (
+		graphPath   = flag.String("graph", "", "input graph file (or use -gen)")
+		gen         = flag.String("gen", "", "generate a network instead: lfr:<1..15>, netsci, dunf")
+		truthPath   = flag.String("truth", "", "write the (generated) ground-truth graph here")
+		statusPath  = flag.String("status", "", "output status file (required)")
+		cascadePath = flag.String("cascades", "", "optional output cascade file")
+		beta        = flag.Int("beta", 150, "number of diffusion processes")
+		alpha       = flag.Float64("alpha", 0.15, "initial infection ratio")
+		mu          = flag.Float64("mu", 0.3, "mean propagation probability")
+		seed        = flag.Int64("seed", 1, "RNG seed")
+	)
+	flag.Parse()
+	if *statusPath == "" {
+		fmt.Fprintln(os.Stderr, "diffsim: -status is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*graphPath, *gen, *truthPath, *statusPath, *cascadePath, *beta, *alpha, *mu, *seed); err != nil {
+		fmt.Fprintf(os.Stderr, "diffsim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(graphPath, gen, truthPath, statusPath, cascadePath string, beta int, alpha, mu float64, seed int64) error {
+	g, err := loadOrGenerate(graphPath, gen, seed)
+	if err != nil {
+		return err
+	}
+	if truthPath != "" {
+		if err := writeGraphFile(truthPath, g); err != nil {
+			return err
+		}
+	}
+	rng := rand.New(rand.NewSource(seed + 7919))
+	ep := diffusion.NewEdgeProbs(g, mu, 0.05, rng)
+	res, err := diffusion.Simulate(ep, diffusion.Config{Alpha: alpha, Beta: beta}, rng)
+	if err != nil {
+		return err
+	}
+	sf, err := os.Create(statusPath)
+	if err != nil {
+		return err
+	}
+	if err := res.Statuses.WriteStatus(sf); err != nil {
+		sf.Close()
+		return err
+	}
+	if err := sf.Close(); err != nil {
+		return err
+	}
+	if cascadePath != "" {
+		if err := writeCascades(cascadePath, res); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("simulated beta=%d processes on n=%d m=%d (alpha=%.2f mu=%.2f seed=%d)\n",
+		beta, g.NumNodes(), g.NumEdges(), alpha, mu, seed)
+	return nil
+}
+
+func loadOrGenerate(graphPath, gen string, seed int64) (*graph.Directed, error) {
+	switch {
+	case graphPath != "" && gen != "":
+		return nil, fmt.Errorf("use either -graph or -gen, not both")
+	case graphPath != "":
+		f, err := os.Open(graphPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return graph.Read(f)
+	case strings.HasPrefix(gen, "lfr:"):
+		idx, err := strconv.Atoi(strings.TrimPrefix(gen, "lfr:"))
+		if err != nil {
+			return nil, fmt.Errorf("bad LFR index in %q: %v", gen, err)
+		}
+		res, err := lfr.GenerateBenchmark(idx, seed)
+		if err != nil {
+			return nil, err
+		}
+		return res.Graph, nil
+	case gen == "netsci":
+		return datasets.NetSci(seed), nil
+	case gen == "dunf":
+		return datasets.DUNF(seed), nil
+	case gen == "":
+		return nil, fmt.Errorf("one of -graph or -gen is required")
+	default:
+		return nil, fmt.Errorf("unknown generator %q (want lfr:<i>, netsci, dunf)", gen)
+	}
+}
+
+func writeGraphFile(path string, g *graph.Directed) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := graph.Write(f, g); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeCascades emits the shared cascade text format (see
+// diffusion.WriteCascades) so that cmd/reconstruct can read the file back.
+func writeCascades(path string, res *diffusion.Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := diffusion.WriteCascades(f, res); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tends/internal/diffusion"
+	"tends/internal/graph"
+)
+
+func TestRunWithGeneratedLFR(t *testing.T) {
+	dir := t.TempDir()
+	status := filepath.Join(dir, "s.txt")
+	truth := filepath.Join(dir, "t.txt")
+	cascades := filepath.Join(dir, "c.txt")
+	if err := run("", "lfr:1", truth, status, cascades, 20, 0.15, 0.3, 7); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	sf, err := os.Open(status)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sf.Close()
+	m, err := diffusion.ReadStatus(sf)
+	if err != nil {
+		t.Fatalf("status file unreadable: %v", err)
+	}
+	if m.Beta() != 20 || m.N() != 100 {
+		t.Fatalf("status dims %dx%d", m.Beta(), m.N())
+	}
+	tf, err := os.Open(truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tf.Close()
+	g, err := graph.Read(tf)
+	if err != nil {
+		t.Fatalf("truth file unreadable: %v", err)
+	}
+	if g.NumNodes() != 100 {
+		t.Fatalf("truth nodes = %d", g.NumNodes())
+	}
+	data, err := os.ReadFile(cascades)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "cascades 20 100\n") {
+		t.Fatalf("cascade header wrong: %q", string(data[:30]))
+	}
+}
+
+func TestRunWithExistingGraph(t *testing.T) {
+	dir := t.TempDir()
+	gpath := filepath.Join(dir, "g.txt")
+	g := graph.Chain(6)
+	f, err := os.Create(gpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.Write(f, g); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	status := filepath.Join(dir, "s.txt")
+	if err := run(gpath, "", "", status, "", 5, 0.2, 0.5, 1); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if _, err := os.Stat(status); err != nil {
+		t.Fatalf("status file missing: %v", err)
+	}
+}
+
+func TestRunDatasets(t *testing.T) {
+	dir := t.TempDir()
+	for _, gen := range []string{"netsci", "dunf"} {
+		status := filepath.Join(dir, gen+".txt")
+		if err := run("", gen, "", status, "", 3, 0.15, 0.3, 1); err != nil {
+			t.Fatalf("run(%s): %v", gen, err)
+		}
+	}
+}
+
+func TestLoadOrGenerateErrors(t *testing.T) {
+	cases := []struct {
+		name      string
+		path, gen string
+	}{
+		{"both", "x.txt", "netsci"},
+		{"neither", "", ""},
+		{"unknown gen", "", "bogus"},
+		{"bad lfr index", "", "lfr:x"},
+		{"lfr out of range", "", "lfr:99"},
+		{"missing file", "/nonexistent/g.txt", ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := loadOrGenerate(tc.path, tc.gen, 1); err == nil {
+				t.Fatalf("loadOrGenerate(%q, %q) succeeded, want error", tc.path, tc.gen)
+			}
+		})
+	}
+}
+
+func TestRunBadSimulationParams(t *testing.T) {
+	dir := t.TempDir()
+	status := filepath.Join(dir, "s.txt")
+	if err := run("", "lfr:1", "", status, "", 0, 0.15, 0.3, 1); err == nil {
+		t.Fatal("beta=0 should fail")
+	}
+	if err := run("", "lfr:1", "", status, "", 5, 0, 0.3, 1); err == nil {
+		t.Fatal("alpha=0 should fail")
+	}
+}

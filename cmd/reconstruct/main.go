@@ -1,0 +1,168 @@
+// Command reconstruct runs any of the repository's reconstruction
+// algorithms on observation files and writes the inferred edge list,
+// optionally scoring it against a ground-truth graph.
+//
+// Usage:
+//
+//	reconstruct -algo tends   -status statuses.txt            [-out g.txt] [-truth t.txt]
+//	reconstruct -algo netrate -cascades cascades.txt          [-out g.txt] [-truth t.txt]
+//	reconstruct -algo multree -cascades cascades.txt -m 776   ...
+//	reconstruct -algo netinf  -cascades cascades.txt -m 776   ...
+//	reconstruct -algo lift    -cascades cascades.txt -m 776   ...
+//	reconstruct -algo path    -cascades cascades.txt -m 776   ...
+//
+// TENDS consumes a status file (it needs nothing else). The baselines
+// consume a cascade file as produced by `diffsim -cascades`; MulTree,
+// NetInf, LIFT and PATH additionally need the edge-count budget -m, and
+// NetRate keeps edges above -minrate. With -truth, precision/recall/F of
+// the result are printed to stderr.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tends/internal/baselines/lift"
+	"tends/internal/baselines/multree"
+	"tends/internal/baselines/netinf"
+	"tends/internal/baselines/netrate"
+	"tends/internal/baselines/path"
+	"tends/internal/core"
+	"tends/internal/diffusion"
+	"tends/internal/graph"
+	"tends/internal/metrics"
+)
+
+func main() {
+	var (
+		algo        = flag.String("algo", "", "algorithm: tends, netrate, multree, netinf, lift, path (required)")
+		statusPath  = flag.String("status", "", "status file (tends)")
+		cascadePath = flag.String("cascades", "", "cascade file (baselines)")
+		outPath     = flag.String("out", "", "output graph file (default stdout)")
+		truthPath   = flag.String("truth", "", "optional ground-truth graph to score against")
+		m           = flag.Int("m", 0, "edge budget for multree/netinf/lift/path")
+		minRate     = flag.Float64("minrate", 0.01, "netrate: keep edges with rate above this")
+	)
+	flag.Parse()
+	if err := run(*algo, *statusPath, *cascadePath, *outPath, *truthPath, *m, *minRate); err != nil {
+		fmt.Fprintf(os.Stderr, "reconstruct: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(algo, statusPath, cascadePath, outPath, truthPath string, m int, minRate float64) error {
+	inferred, err := infer(algo, statusPath, cascadePath, m, minRate)
+	if err != nil {
+		return err
+	}
+	if truthPath != "" {
+		truth, err := readGraphFile(truthPath)
+		if err != nil {
+			return err
+		}
+		prf := metrics.Score(truth, inferred)
+		fmt.Fprintf(os.Stderr, "%s: F=%.3f precision=%.3f recall=%.3f (%d inferred, %d true)\n",
+			algo, prf.F, prf.Precision, prf.Recall, inferred.NumEdges(), truth.NumEdges())
+	}
+	out := os.Stdout
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	return graph.Write(out, inferred)
+}
+
+func infer(algo, statusPath, cascadePath string, m int, minRate float64) (*graph.Directed, error) {
+	switch algo {
+	case "tends":
+		if statusPath == "" {
+			return nil, fmt.Errorf("tends needs -status")
+		}
+		sm, err := readStatusFile(statusPath)
+		if err != nil {
+			return nil, err
+		}
+		res, err := core.Infer(sm, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		return res.Graph, nil
+	case "netrate":
+		sim, err := readCascadeFile(cascadePath)
+		if err != nil {
+			return nil, err
+		}
+		preds, err := netrate.Infer(sim, netrate.Options{})
+		if err != nil {
+			return nil, err
+		}
+		g := graph.New(sim.N)
+		for _, we := range preds {
+			if we.Weight > minRate {
+				g.AddEdge(we.From, we.To)
+			}
+		}
+		return g, nil
+	case "multree", "netinf", "lift", "path":
+		sim, err := readCascadeFile(cascadePath)
+		if err != nil {
+			return nil, err
+		}
+		if m <= 0 {
+			return nil, fmt.Errorf("%s needs a positive edge budget -m", algo)
+		}
+		switch algo {
+		case "multree":
+			return multree.Infer(sim, m, multree.Options{})
+		case "netinf":
+			return netinf.Infer(sim, m, netinf.Options{})
+		case "lift":
+			return lift.InferTopM(sim, m, lift.Options{})
+		default: // path
+			traces, err := path.TracesFromCascades(sim, 3)
+			if err != nil {
+				return nil, err
+			}
+			return path.InferTopM(sim.N, traces, m)
+		}
+	case "":
+		return nil, fmt.Errorf("-algo is required")
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q", algo)
+	}
+}
+
+func readStatusFile(path string) (*diffusion.StatusMatrix, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return diffusion.ReadStatus(f)
+}
+
+func readCascadeFile(path string) (*diffusion.Result, error) {
+	if path == "" {
+		return nil, fmt.Errorf("this algorithm needs -cascades")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return diffusion.ReadCascades(f)
+}
+
+func readGraphFile(path string) (*graph.Directed, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return graph.Read(f)
+}

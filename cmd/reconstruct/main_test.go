@@ -1,0 +1,107 @@
+package main
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tends/internal/diffusion"
+	"tends/internal/graph"
+)
+
+// fixture simulates a workload and writes truth/status/cascade files.
+func fixture(t *testing.T) (dir, truth, status, cascades string, m int) {
+	t.Helper()
+	dir = t.TempDir()
+	g := graph.Chain(12)
+	g.Symmetrize()
+	rng := rand.New(rand.NewSource(5))
+	ep := diffusion.NewEdgeProbs(g, 0.5, 0.05, rng)
+	res, err := diffusion.Simulate(ep, diffusion.Config{Alpha: 0.1, Beta: 200}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth = filepath.Join(dir, "truth.txt")
+	f, err := os.Create(truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.Write(f, g); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	status = filepath.Join(dir, "status.txt")
+	f, err = os.Create(status)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Statuses.WriteStatus(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	cascades = filepath.Join(dir, "cascades.txt")
+	f, err = os.Create(cascades)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := diffusion.WriteCascades(f, res); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	return dir, truth, status, cascades, g.NumEdges()
+}
+
+func TestRunAllAlgorithms(t *testing.T) {
+	dir, truth, status, cascades, m := fixture(t)
+	for _, algo := range []string{"tends", "netrate", "multree", "netinf", "lift", "path"} {
+		out := filepath.Join(dir, algo+".txt")
+		var err error
+		if algo == "tends" {
+			err = run(algo, status, "", out, truth, 0, 0.01)
+		} else {
+			err = run(algo, "", cascades, out, truth, m, 0.01)
+		}
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		f, err := os.Open(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := graph.Read(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s output unparseable: %v", algo, err)
+		}
+		if g.NumNodes() != 12 {
+			t.Fatalf("%s: nodes = %d", algo, g.NumNodes())
+		}
+		if algo != "lift" && g.NumEdges() == 0 {
+			t.Fatalf("%s inferred nothing on an easy instance", algo)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	_, truth, status, cascades, _ := fixture(t)
+	cases := []struct {
+		name string
+		err  func() error
+	}{
+		{"no algo", func() error { return run("", status, cascades, "", "", 0, 0.01) }},
+		{"unknown algo", func() error { return run("bogus", status, cascades, "", "", 0, 0.01) }},
+		{"tends without status", func() error { return run("tends", "", cascades, "", "", 0, 0.01) }},
+		{"multree without cascades", func() error { return run("multree", status, "", "", "", 5, 0.01) }},
+		{"multree without budget", func() error { return run("multree", "", cascades, "", "", 0, 0.01) }},
+		{"missing truth file", func() error { return run("tends", status, "", "", truth+".nope", 0, 0.01) }},
+		{"missing status file", func() error { return run("tends", status+".nope", "", "", "", 0, 0.01) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.err() == nil {
+				t.Fatal("expected error")
+			}
+		})
+	}
+}

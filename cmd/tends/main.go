@@ -1,0 +1,142 @@
+// Command tends infers a diffusion network topology from a file of final
+// infection statuses, writing the inferred edge list to stdout or a file.
+//
+// Usage:
+//
+//	tends -in statuses.txt [-out graph.txt] [-combo 2] [-scale 1.0]
+//	      [-threshold t] [-mi] [-verbose]
+//
+// The input format is the one produced by `diffsim` (and
+// diffusion.StatusMatrix.WriteStatus):
+//
+//	statuses <beta> <n>
+//	0110...   (one '0'/'1' row of length n per diffusion process)
+//
+// The output is the graph text format: a "nodes <n>" header followed by one
+// "<from> <to>" line per inferred directed edge.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tends/internal/core"
+	"tends/internal/diffusion"
+	"tends/internal/graph"
+	"tends/internal/probest"
+)
+
+func main() {
+	var (
+		inPath    = flag.String("in", "", "input status file (required)")
+		outPath   = flag.String("out", "", "output graph file (default stdout)")
+		combo     = flag.Int("combo", 0, "max parent-combination size (default 2)")
+		scale     = flag.Float64("scale", 0, "threshold scale relative to auto tau (default 1)")
+		threshold = flag.Float64("threshold", -1, "absolute IMI threshold; overrides -scale when >= 0")
+		useMI     = flag.Bool("mi", false, "use traditional MI instead of infection MI")
+		probsPath = flag.String("probs", "", "also estimate per-edge propagation probabilities into this file")
+		workers   = flag.Int("workers", 0, "parallel search workers (0 = all CPUs)")
+		verbose   = flag.Bool("verbose", false, "print threshold and score diagnostics to stderr")
+	)
+	flag.Parse()
+	if *inPath == "" {
+		fmt.Fprintln(os.Stderr, "tends: -in is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*inPath, *outPath, *combo, *scale, *threshold, *useMI, *verbose, *workers); err != nil {
+		fmt.Fprintf(os.Stderr, "tends: %v\n", err)
+		os.Exit(1)
+	}
+	if *probsPath != "" {
+		if err := estimateProbs(*inPath, *outPath, *probsPath); err != nil {
+			fmt.Fprintf(os.Stderr, "tends: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// estimateProbs re-reads the inference inputs/outputs and writes one
+// "<from> <to> <probability>" line per inferred edge.
+func estimateProbs(inPath, graphPath, probsPath string) error {
+	if graphPath == "" {
+		return fmt.Errorf("-probs requires -out (the inferred graph file)")
+	}
+	sf, err := os.Open(inPath)
+	if err != nil {
+		return err
+	}
+	defer sf.Close()
+	sm, err := diffusion.ReadStatus(sf)
+	if err != nil {
+		return err
+	}
+	gf, err := os.Open(graphPath)
+	if err != nil {
+		return err
+	}
+	defer gf.Close()
+	g, err := graph.Read(gf)
+	if err != nil {
+		return err
+	}
+	est, err := probest.Run(sm, g, probest.Options{})
+	if err != nil {
+		return err
+	}
+	out, err := os.Create(probsPath)
+	if err != nil {
+		return err
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(out, "%d %d %.4f\n", e.From, e.To, est.Probs[e])
+	}
+	return out.Close()
+}
+
+func run(inPath, outPath string, combo int, scale, threshold float64, useMI, verbose bool, workers int) error {
+	f, err := os.Open(inPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sm, err := diffusion.ReadStatus(f)
+	if err != nil {
+		return err
+	}
+
+	opt := core.Options{
+		MaxComboSize:   combo,
+		ThresholdScale: scale,
+		TraditionalMI:  useMI,
+		Workers:        workers,
+	}
+	if threshold >= 0 {
+		opt.FixedThreshold = &threshold
+	}
+	res, err := core.Infer(sm, opt)
+	if err != nil {
+		return err
+	}
+	if verbose {
+		fmt.Fprintf(os.Stderr, "observations: beta=%d n=%d\n", sm.Beta(), sm.N())
+		fmt.Fprintf(os.Stderr, "auto tau=%.6f used threshold=%.6f\n", res.AutoTau, res.Threshold)
+		fmt.Fprintf(os.Stderr, "inferred edges=%d score g(T)=%.3f\n", res.Graph.NumEdges(), res.Score)
+	}
+
+	out := os.Stdout
+	if outPath != "" {
+		g, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if cerr := g.Close(); err == nil {
+				err = cerr
+			}
+		}()
+		out = g
+	}
+	return graph.Write(out, res.Graph)
+}

@@ -1,0 +1,58 @@
+// Epidemic surveillance: recover a contact network from end-of-outbreak
+// serology surveys.
+//
+// The motivating scenario of the paper's introduction: monitoring who
+// infected whom during an outbreak is rarely feasible — incubation periods
+// blur onset timestamps, and most infections are only detected after the
+// fact. What public-health agencies do get, cheaply, is the final infection
+// status of each individual per outbreak (e.g. an antibody survey). This
+// example reconstructs the contact structure of a community from exactly
+// that data, and shows how reconstruction quality grows with the number of
+// observed outbreaks — the paper's Figs. 8–9 effect.
+//
+//	go run ./examples/epidemic
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"tends"
+	"tends/internal/lfr"
+)
+
+func main() {
+	// A community contact network: 150 people in households/workplaces
+	// (LFR communities), contact implies mutual transmission risk.
+	res, err := lfr.Generate(lfr.Params{N: 150, AvgDegree: 4, DegreeExp: 2}, rand.New(rand.NewSource(7)))
+	if err != nil {
+		log.Fatalf("generate contact network: %v", err)
+	}
+	truth := res.Graph
+	fmt.Printf("contact network: %d people, %d directed transmission links\n\n",
+		truth.NumNodes(), truth.NumEdges())
+
+	fmt.Println("outbreaks observed -> reconstruction quality")
+	for _, outbreaks := range []int{50, 100, 150, 250, 400} {
+		sim, err := tends.Simulate(truth, tends.SimulationConfig{
+			Alpha: 0.1, // ~15 index cases per outbreak
+			Beta:  outbreaks,
+			Mu:    0.3, // mean transmission probability per contact
+			Seed:  11,
+		})
+		if err != nil {
+			log.Fatalf("simulate: %v", err)
+		}
+		result, err := tends.Infer(sim.Statuses, tends.Options{})
+		if err != nil {
+			log.Fatalf("infer: %v", err)
+		}
+		prf := tends.Score(truth, result.Graph)
+		fmt.Printf("  %4d outbreaks: F=%.3f (precision %.3f, recall %.3f, %d links inferred)\n",
+			outbreaks, prf.F, prf.Precision, prf.Recall, result.Graph.NumEdges())
+	}
+
+	fmt.Println("\nMore observed outbreaks expose more of the contact structure —")
+	fmt.Println("the consistency property behind the paper's Corollary 1.")
+}

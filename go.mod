@@ -1,0 +1,3 @@
+module tends
+
+go 1.22

@@ -1,0 +1,64 @@
+package cascade
+
+import (
+	"math/rand"
+	"testing"
+
+	"tends/internal/diffusion"
+	"tends/internal/graph"
+)
+
+func benchSet(b *testing.B) *Set {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	g := graph.GNM(200, 800, rng)
+	ep := diffusion.NewEdgeProbs(g, 0.3, 0.05, rng)
+	res, err := diffusion.Simulate(ep, diffusion.Config{Alpha: 0.15, Beta: 150}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	set, err := Build(res, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return set
+}
+
+func BenchmarkBuild(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := graph.GNM(200, 800, rng)
+	ep := diffusion.NewEdgeProbs(g, 0.3, 0.05, rng)
+	res, err := diffusion.Simulate(ep, diffusion.Config{Alpha: 0.15, Beta: 150}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(res, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGreedySum(b *testing.B) {
+	set := benchSet(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Greedy(set, SumModel{Epsilon: set.Epsilon}, 800); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGreedyMax(b *testing.B) {
+	set := benchSet(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Greedy(set, MaxModel{Epsilon: set.Epsilon}, 800); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+// Package cascade provides the shared machinery of the timestamp-based
+// baselines (NetInf, MulTree, NetRate): per-cascade potential-parent
+// structures under the exponential transmission model.
+//
+// For an infected node v with timestamp t_v in a cascade, every node u
+// infected strictly earlier is a potential parent, with transmission weight
+//
+//	w(u→v) = λ·exp(−λ·(t_v − t_u))
+//
+// the exponential-delay likelihood these methods assume (and which matches
+// the simulator's continuous timestamps). ε is the weight of the "external"
+// explanation that a node was infected from outside the inferred edge set.
+package cascade
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"tends/internal/diffusion"
+)
+
+// Event is one infection to be explained: node Target was infected in
+// cascade Cascade, and Parents lists the nodes infected strictly earlier
+// (sorted by node id) with their transmission weights.
+type Event struct {
+	Cascade int32
+	Parents []int32
+	Weights []float32
+}
+
+// WeightOf returns the transmission weight from u in this event, and
+// whether u was a potential parent at all.
+func (e *Event) WeightOf(u int) (float64, bool) {
+	i := sort.Search(len(e.Parents), func(k int) bool { return e.Parents[k] >= int32(u) })
+	if i < len(e.Parents) && e.Parents[i] == int32(u) {
+		return float64(e.Weights[i]), true
+	}
+	return 0, false
+}
+
+// Set holds every event of an observation run, grouped by target node.
+type Set struct {
+	N        int
+	Episodes int       // number of cascades
+	ByTarget [][]Event // events per target node
+	Lambda   float64
+	Epsilon  float64
+}
+
+// Options configures Build.
+type Options struct {
+	Lambda  float64 // exponential rate of transmission delays; 0 means 1
+	Epsilon float64 // external-explanation weight; 0 means 1e-8
+}
+
+// Build extracts potential-parent events from simulated cascades. Seeds
+// produce no events (their infections need no explanation).
+func Build(res *diffusion.Result, opt Options) (*Set, error) {
+	if len(res.Cascades) == 0 {
+		return nil, fmt.Errorf("cascade: no cascades")
+	}
+	if opt.Lambda == 0 {
+		opt.Lambda = 1
+	}
+	if opt.Lambda < 0 {
+		return nil, fmt.Errorf("cascade: negative Lambda %v", opt.Lambda)
+	}
+	if opt.Epsilon == 0 {
+		opt.Epsilon = 1e-8
+	}
+	if opt.Epsilon < 0 {
+		return nil, fmt.Errorf("cascade: negative Epsilon %v", opt.Epsilon)
+	}
+	s := &Set{
+		N:        res.N,
+		Episodes: len(res.Cascades),
+		ByTarget: make([][]Event, res.N),
+		Lambda:   opt.Lambda,
+		Epsilon:  opt.Epsilon,
+	}
+	for ci, c := range res.Cascades {
+		// Continuous timestamps within a round are not monotone in the
+		// recorded order, so scan every infection and keep those strictly
+		// earlier in time.
+		infs := c.Infections
+		for vi, inf := range infs {
+			if inf.Parent == -1 {
+				continue // seed
+			}
+			var parents []int32
+			var weights []float32
+			for ui := range infs {
+				if ui == vi {
+					continue
+				}
+				u := infs[ui]
+				dt := inf.Time - u.Time
+				if dt <= 0 {
+					continue
+				}
+				w := opt.Lambda * math.Exp(-opt.Lambda*dt)
+				parents = append(parents, int32(u.Node))
+				weights = append(weights, float32(w))
+			}
+			if len(parents) == 0 {
+				continue
+			}
+			sortParents(parents, weights)
+			s.ByTarget[inf.Node] = append(s.ByTarget[inf.Node], Event{
+				Cascade: int32(ci),
+				Parents: parents,
+				Weights: weights,
+			})
+		}
+	}
+	return s, nil
+}
+
+func sortParents(parents []int32, weights []float32) {
+	idx := make([]int, len(parents))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return parents[idx[a]] < parents[idx[b]] })
+	p2 := make([]int32, len(parents))
+	w2 := make([]float32, len(weights))
+	for i, k := range idx {
+		p2[i] = parents[k]
+		w2[i] = weights[k]
+	}
+	copy(parents, p2)
+	copy(weights, w2)
+}
+
+// CandidateParents returns the union of potential parents over all events
+// of target v, sorted by node id.
+func (s *Set) CandidateParents(v int) []int {
+	seen := make(map[int32]struct{})
+	for _, e := range s.ByTarget[v] {
+		for _, p := range e.Parents {
+			seen[p] = struct{}{}
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for p := range seen {
+		out = append(out, int(p))
+	}
+	sort.Ints(out)
+	return out
+}

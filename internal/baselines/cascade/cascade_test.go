@@ -1,0 +1,275 @@
+package cascade
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tends/internal/diffusion"
+	"tends/internal/graph"
+)
+
+func simulate(t *testing.T, g *graph.Directed, mu, alpha float64, beta int, seed int64) *diffusion.Result {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	ep := diffusion.NewEdgeProbs(g, mu, 0.05, rng)
+	res, err := diffusion.Simulate(ep, diffusion.Config{Alpha: alpha, Beta: beta}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestBuildStructure(t *testing.T) {
+	g := graph.Chain(8)
+	res := simulate(t, g, 0.9, 0.13, 40, 1)
+	set, err := Build(res, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.N != 8 || set.Episodes != 40 {
+		t.Fatalf("set dims: N=%d episodes=%d", set.N, set.Episodes)
+	}
+	// Every event's parents must be strictly earlier in time and sorted.
+	for v, events := range set.ByTarget {
+		for _, e := range events {
+			timesOf := res.Cascades[e.Cascade].InfectionTimes(8)
+			tv := timesOf[v]
+			prev := int32(-1)
+			for k, p := range e.Parents {
+				if p <= prev {
+					t.Fatalf("parents not sorted for target %d", v)
+				}
+				prev = p
+				tp := timesOf[p]
+				if tp < 0 || tp >= tv {
+					t.Fatalf("parent %d of %d not strictly earlier: %v vs %v", p, v, tp, tv)
+				}
+				wantW := math.Exp(-(tv - tp))
+				if math.Abs(float64(e.Weights[k])-wantW) > 1e-5 {
+					t.Fatalf("weight = %v, want %v", e.Weights[k], wantW)
+				}
+			}
+		}
+	}
+}
+
+func TestBuildSeedsHaveNoEvents(t *testing.T) {
+	g := graph.Star(6)
+	res := simulate(t, g, 0.9, 0.17, 30, 2)
+	set, err := Build(res, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count events per target; compare with non-seed infections.
+	for p, c := range res.Cascades {
+		_ = p
+		seedSet := map[int]bool{}
+		for _, s := range c.Seeds {
+			seedSet[s] = true
+		}
+		for _, inf := range c.Infections {
+			if seedSet[inf.Node] && inf.Parent != -1 {
+				t.Fatal("seed recorded with a parent")
+			}
+		}
+	}
+	for v, events := range set.ByTarget {
+		for _, e := range events {
+			if isSeedOf(res.Cascades[e.Cascade].Seeds, v) {
+				t.Fatalf("seed %d has an explanation event", v)
+			}
+		}
+	}
+}
+
+func isSeedOf(seeds []int, v int) bool {
+	for _, s := range seeds {
+		if s == v {
+			return true
+		}
+	}
+	return false
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build(&diffusion.Result{}, Options{}); err == nil {
+		t.Fatal("empty result should fail")
+	}
+	g := graph.Chain(4)
+	res := simulate(t, g, 0.5, 0.25, 5, 3)
+	if _, err := Build(res, Options{Lambda: -1}); err == nil {
+		t.Fatal("negative lambda should fail")
+	}
+	if _, err := Build(res, Options{Epsilon: -1}); err == nil {
+		t.Fatal("negative epsilon should fail")
+	}
+}
+
+func TestWeightOf(t *testing.T) {
+	e := Event{Parents: []int32{2, 5, 9}, Weights: []float32{0.1, 0.2, 0.3}}
+	if w, ok := e.WeightOf(5); !ok || math.Abs(w-0.2) > 1e-6 {
+		t.Fatalf("WeightOf(5) = %v,%v", w, ok)
+	}
+	if _, ok := e.WeightOf(4); ok {
+		t.Fatal("WeightOf(4) should miss")
+	}
+	if _, ok := e.WeightOf(10); ok {
+		t.Fatal("WeightOf(10) should miss")
+	}
+}
+
+func TestCandidateParents(t *testing.T) {
+	g := graph.Chain(5)
+	res := simulate(t, g, 0.99, 0.2, 50, 4)
+	set, err := Build(res, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 4 is last on the chain: all earlier nodes should eventually be
+	// candidates; node 4 itself never is.
+	cands := set.CandidateParents(4)
+	for _, c := range cands {
+		if c == 4 {
+			t.Fatal("node is its own candidate parent")
+		}
+	}
+	if len(cands) == 0 {
+		t.Fatal("no candidates for the chain tail")
+	}
+}
+
+func TestGainModels(t *testing.T) {
+	sum := SumModel{Epsilon: 0.01}
+	s := sum.InitState()
+	if s != 0.01 {
+		t.Fatalf("sum init = %v", s)
+	}
+	g1 := sum.Gain(s, 0.5)
+	if g1 <= 0 {
+		t.Fatalf("sum gain = %v, want positive", g1)
+	}
+	s = sum.Update(s, 0.5)
+	if g2 := sum.Gain(s, 0.5); g2 >= g1 {
+		t.Fatalf("sum gain not diminishing: %v then %v", g1, g2)
+	}
+
+	mx := MaxModel{Epsilon: 0.01}
+	s = mx.InitState()
+	if g := mx.Gain(s, 0.5); g <= 0 {
+		t.Fatalf("max gain = %v", g)
+	}
+	s = mx.Update(s, 0.5)
+	if g := mx.Gain(s, 0.3); g != 0 {
+		t.Fatalf("max gain for weaker parent = %v, want 0", g)
+	}
+	if s2 := mx.Update(s, 0.3); s2 != 0.5 {
+		t.Fatalf("max update with weaker = %v, want 0.5", s2)
+	}
+}
+
+func TestGreedyRecoversChain(t *testing.T) {
+	g := graph.Chain(10)
+	res := simulate(t, g, 0.8, 0.1, 300, 5)
+	set, err := Build(res, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, model := range map[string]GainModel{
+		"sum": SumModel{Epsilon: set.Epsilon},
+		"max": MaxModel{Epsilon: set.Epsilon},
+	} {
+		out, err := Greedy(set, model, g.NumEdges())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		correct := 0
+		for _, e := range out.Graph.Edges() {
+			if g.HasEdge(e.From, e.To) {
+				correct++
+			}
+		}
+		if correct < 6 {
+			t.Fatalf("%s greedy recovered %d/9 chain edges", name, correct)
+		}
+		if out.Score <= 0 {
+			t.Fatalf("%s greedy score = %v", name, out.Score)
+		}
+	}
+}
+
+func TestGreedyBudget(t *testing.T) {
+	g := graph.Chain(8)
+	res := simulate(t, g, 0.9, 0.12, 100, 6)
+	set, err := Build(res, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Greedy(set, SumModel{Epsilon: set.Epsilon}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Graph.NumEdges() > 3 {
+		t.Fatalf("budget exceeded: %d edges", out.Graph.NumEdges())
+	}
+	if len(out.Edges) != out.Graph.NumEdges() {
+		t.Fatal("edge list inconsistent with graph")
+	}
+	if _, err := Greedy(set, SumModel{Epsilon: set.Epsilon}, -1); err == nil {
+		t.Fatal("negative budget should fail")
+	}
+	zero, err := Greedy(set, SumModel{Epsilon: set.Epsilon}, 0)
+	if err != nil || zero.Graph.NumEdges() != 0 {
+		t.Fatalf("zero budget: %v, %d edges", err, zero.Graph.NumEdges())
+	}
+}
+
+// Property: both gain models are submodular in the accumulated state —
+// after folding any weight into the state, the gain of any other weight
+// can only shrink. This is the precondition for the lazy greedy.
+func TestGainModelsSubmodularProperty(t *testing.T) {
+	f := func(w1Raw, w2Raw, sRaw uint16) bool {
+		w1 := float64(w1Raw)/65535*0.99 + 1e-6
+		w2 := float64(w2Raw)/65535*0.99 + 1e-6
+		s0 := float64(sRaw)/65535*0.5 + 1e-8
+		for _, model := range []GainModel{SumModel{Epsilon: s0}, MaxModel{Epsilon: s0}} {
+			before := model.Gain(s0, w2)
+			after := model.Gain(model.Update(s0, w1), w2)
+			if after > before+1e-12 {
+				return false
+			}
+			// Gains are never negative.
+			if before < 0 || after < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGreedyGainsDecreaseInSelectionOrder(t *testing.T) {
+	// Lazy greedy must emit edges in non-increasing marginal-gain order.
+	g := graph.BalancedTree(15, 2)
+	res := simulate(t, g, 0.8, 0.1, 200, 7)
+	set, err := Build(res, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Greedy(set, SumModel{Epsilon: set.Epsilon}, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(out.Edges); i++ {
+		if out.Edges[i].Weight > out.Edges[i-1].Weight+1e-9 {
+			t.Fatalf("gains not non-increasing at %d: %v then %v", i, out.Edges[i-1].Weight, out.Edges[i].Weight)
+		}
+	}
+	sorted := out.SortEdgesByGain()
+	if len(sorted) != len(out.Edges) {
+		t.Fatal("SortEdgesByGain lost edges")
+	}
+}

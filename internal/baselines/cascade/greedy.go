@@ -1,0 +1,181 @@
+package cascade
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"tends/internal/graph"
+	"tends/internal/metrics"
+)
+
+// GainModel abstracts the difference between MulTree and NetInf: how much
+// the cascade log-likelihood of target v improves when edge (u → v) is
+// added, given the per-event state accumulated so far.
+//
+// Both objectives are monotone submodular in the edge set, which makes the
+// lazy greedy below near-optimal (1 − 1/e) and fast.
+type GainModel interface {
+	// InitState returns the initial per-event accumulator for one event of
+	// the target (no in-edges selected yet).
+	InitState() float64
+	// Gain returns the log-likelihood improvement for one event when an
+	// in-edge with weight w is added to a state s.
+	Gain(s, w float64) float64
+	// Update folds an added edge's weight into the state.
+	Update(s, w float64) float64
+}
+
+// SumModel is MulTree's all-trees marginalization: the likelihood of an
+// event sums the weights of every selected potential parent, so the gain of
+// a new parent is log((S + w)/S) with S starting at ε.
+type SumModel struct{ Epsilon float64 }
+
+// InitState implements GainModel.
+func (m SumModel) InitState() float64 { return m.Epsilon }
+
+// Gain implements GainModel.
+func (m SumModel) Gain(s, w float64) float64 { return log2(s+w) - log2(s) }
+
+// Update implements GainModel.
+func (m SumModel) Update(s, w float64) float64 { return s + w }
+
+// MaxModel is NetInf's most-probable-tree relaxation: the likelihood of an
+// event keeps only the best selected parent, so a new parent contributes
+// only if it beats the current best (which starts at ε).
+type MaxModel struct{ Epsilon float64 }
+
+// InitState implements GainModel.
+func (m MaxModel) InitState() float64 { return m.Epsilon }
+
+// Gain implements GainModel.
+func (m MaxModel) Gain(s, w float64) float64 {
+	if w <= s {
+		return 0
+	}
+	return log2(w) - log2(s)
+}
+
+// Update implements GainModel.
+func (m MaxModel) Update(s, w float64) float64 {
+	if w > s {
+		return w
+	}
+	return s
+}
+
+func log2(x float64) float64 {
+	// Guard against log of zero from an ε of 0; callers always pass ε > 0
+	// but the guard keeps the greedy robust.
+	if x <= 0 {
+		return -1e30
+	}
+	return math.Log2(x)
+}
+
+// GreedyResult is the outcome of a greedy run.
+type GreedyResult struct {
+	Graph *graph.Directed
+	Edges []metrics.WeightedEdge // in selection order, weight = marginal gain
+	Score float64                // total log-likelihood improvement
+}
+
+// Greedy selects up to budget edges maximizing the model's total
+// log-likelihood via lazy (accelerated) greedy. Each candidate edge
+// (u → v) is any pair where u was a potential parent of v in at least one
+// event.
+func Greedy(s *Set, model GainModel, budget int) (*GreedyResult, error) {
+	if budget < 0 {
+		return nil, fmt.Errorf("cascade: negative budget %d", budget)
+	}
+	// Per-target per-event states.
+	states := make([][]float64, s.N)
+	for v := 0; v < s.N; v++ {
+		states[v] = make([]float64, len(s.ByTarget[v]))
+		for i := range states[v] {
+			states[v][i] = model.InitState()
+		}
+	}
+	gainOf := func(u, v int) float64 {
+		var g float64
+		for i, e := range s.ByTarget[v] {
+			if w, ok := e.WeightOf(u); ok {
+				g += model.Gain(states[v][i], w)
+			}
+		}
+		return g
+	}
+
+	// Seed the lazy priority queue with every candidate edge's initial gain.
+	var pq edgeHeap
+	for v := 0; v < s.N; v++ {
+		for _, u := range s.CandidateParents(v) {
+			if g := gainOf(u, v); g > 0 {
+				pq = append(pq, edgeGain{u: u, v: v, gain: g, round: 0})
+			}
+		}
+	}
+	heap.Init(&pq)
+
+	res := &GreedyResult{Graph: graph.New(s.N)}
+	round := 0
+	for len(pq) > 0 && res.Graph.NumEdges() < budget {
+		top := pq[0]
+		if top.round != round {
+			// Stale gain: recompute and reinsert (lazy evaluation, valid
+			// because gains only shrink as edges are added).
+			g := gainOf(top.u, top.v)
+			if g <= 0 {
+				heap.Pop(&pq)
+				continue
+			}
+			pq[0].gain = g
+			pq[0].round = round
+			heap.Fix(&pq, 0)
+			continue
+		}
+		heap.Pop(&pq)
+		res.Graph.AddEdge(top.u, top.v)
+		res.Edges = append(res.Edges, metrics.WeightedEdge{
+			Edge:   graph.Edge{From: top.u, To: top.v},
+			Weight: top.gain,
+		})
+		res.Score += top.gain
+		for i, e := range s.ByTarget[top.v] {
+			if w, ok := e.WeightOf(top.u); ok {
+				states[top.v][i] = model.Update(states[top.v][i], w)
+			}
+		}
+		round++
+	}
+	return res, nil
+}
+
+type edgeGain struct {
+	u, v  int
+	gain  float64
+	round int
+}
+
+type edgeHeap []edgeGain
+
+func (h edgeHeap) Len() int           { return len(h) }
+func (h edgeHeap) Less(i, j int) bool { return h[i].gain > h[j].gain }
+func (h edgeHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *edgeHeap) Push(x any)        { *h = append(*h, x.(edgeGain)) }
+func (h *edgeHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// SortEdgesByGain returns the selected edges sorted by marginal gain,
+// strongest first, for threshold-style evaluation.
+func (r *GreedyResult) SortEdgesByGain() []metrics.WeightedEdge {
+	out := append([]metrics.WeightedEdge(nil), r.Edges...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Weight > out[j].Weight })
+	return out
+}

@@ -1,0 +1,115 @@
+// Package lift implements the LIFT baseline (Amin, Heidari and Kearns,
+// "Learning from contagion (without timestamps)", ICML 2014) as described in
+// the paper's Section II-B: diffusion network reconstruction from diffusion
+// sources and final infection statuses.
+//
+// For a potential edge (u, v), LIFT measures the lifting effect of u on v —
+// the increase in v's infection probability conditioned on u being one of
+// the initially infected nodes:
+//
+//	lift(u, v) = P̂(v infected | u ∈ seeds) − P̂(v infected)
+//
+// Pairs are ranked by lifting effect and the top m are returned, m being the
+// prior knowledge of the edge count the paper supplies to this baseline.
+package lift
+
+import (
+	"fmt"
+	"sort"
+
+	"tends/internal/diffusion"
+	"tends/internal/graph"
+	"tends/internal/metrics"
+)
+
+// Options tunes LIFT.
+type Options struct {
+	// MinSupport is the minimum number of processes in which u must be a
+	// seed for lift(u, ·) to be estimated; pairs with less support are
+	// skipped (their conditional probability is statistically meaningless).
+	// 0 means the default of 3.
+	MinSupport int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MinSupport == 0 {
+		o.MinSupport = 3
+	}
+	return o
+}
+
+// Infer computes lifting effects from the observations and returns every
+// scored pair as a weighted edge, strongest first. Use metrics.TopK (or
+// InferTopM) to cut the ranking at a known edge count.
+func Infer(res *diffusion.Result, opt Options) ([]metrics.WeightedEdge, error) {
+	opt = opt.withDefaults()
+	n := res.N
+	beta := len(res.Cascades)
+	if beta == 0 {
+		return nil, fmt.Errorf("lift: no diffusion processes")
+	}
+	if res.Statuses.Beta() != beta {
+		return nil, fmt.Errorf("lift: status matrix has %d rows but %d cascades", res.Statuses.Beta(), beta)
+	}
+
+	// seedCount[u]: processes where u is a seed.
+	// coCount[u][v]: processes where u is a seed and v ends up infected.
+	seedCount := make([]int, n)
+	coCount := make([][]int, n)
+	for p, c := range res.Cascades {
+		for _, u := range c.Seeds {
+			seedCount[u]++
+			if coCount[u] == nil {
+				coCount[u] = make([]int, n)
+			}
+			for v := 0; v < n; v++ {
+				if v != u && res.Statuses.Get(p, v) {
+					coCount[u][v]++
+				}
+			}
+		}
+	}
+	base := make([]float64, n)
+	for v := 0; v < n; v++ {
+		base[v] = float64(res.Statuses.CountInfected(v)) / float64(beta)
+	}
+
+	var out []metrics.WeightedEdge
+	for u := 0; u < n; u++ {
+		if seedCount[u] < opt.MinSupport || coCount[u] == nil {
+			continue
+		}
+		for v := 0; v < n; v++ {
+			if v == u {
+				continue
+			}
+			cond := float64(coCount[u][v]) / float64(seedCount[u])
+			l := cond - base[v]
+			if l > 0 {
+				out = append(out, metrics.WeightedEdge{
+					Edge:   graph.Edge{From: u, To: v},
+					Weight: l,
+				})
+			}
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Weight > out[j].Weight })
+	return out, nil
+}
+
+// InferTopM runs Infer and keeps the m strongest pairs as the inferred edge
+// set, mirroring how the paper evaluates LIFT (the true edge count is given).
+func InferTopM(res *diffusion.Result, m int, opt Options) (*graph.Directed, error) {
+	ranked, err := Infer(res, opt)
+	if err != nil {
+		return nil, err
+	}
+	if m > len(ranked) {
+		m = len(ranked)
+	}
+	g := graph.New(res.N)
+	for _, we := range ranked[:m] {
+		g.AddEdge(we.From, we.To)
+	}
+	return g, nil
+}

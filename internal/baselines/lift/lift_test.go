@@ -1,0 +1,120 @@
+package lift
+
+import (
+	"math/rand"
+	"testing"
+
+	"tends/internal/diffusion"
+	"tends/internal/graph"
+	"tends/internal/metrics"
+)
+
+func simulate(t *testing.T, g *graph.Directed, mu, alpha float64, beta int, seed int64) *diffusion.Result {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	ep := diffusion.NewEdgeProbs(g, mu, 0.05, rng)
+	res, err := diffusion.Simulate(ep, diffusion.Config{Alpha: alpha, Beta: beta}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestInferFindsDirectInfluence(t *testing.T) {
+	// Star with strong spokes: seeding the hub lifts every leaf.
+	g := graph.Star(8)
+	res := simulate(t, g, 0.8, 0.125, 2000, 1)
+	inferred, err := InferTopM(res, g.NumEdges(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prf := metrics.Score(g, inferred)
+	if prf.Recall < 0.6 {
+		t.Fatalf("star recall = %.3f (P=%.3f)", prf.Recall, prf.Precision)
+	}
+}
+
+func TestInferRanksTrueEdgesAboveDistant(t *testing.T) {
+	// Chain: lift(0→1) must exceed lift(0→5), which is attenuated by the
+	// intermediate hops.
+	g := graph.Chain(6)
+	res := simulate(t, g, 0.6, 0.17, 4000, 2)
+	ranked, err := Infer(res, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := func(u, v int) int {
+		for i, we := range ranked {
+			if we.From == u && we.To == v {
+				return i
+			}
+		}
+		return -1
+	}
+	direct := pos(0, 1)
+	distant := pos(0, 5)
+	if direct == -1 {
+		t.Fatal("direct edge (0,1) not ranked at all")
+	}
+	if distant != -1 && distant < direct {
+		t.Fatalf("distant pair (0,5) at rank %d above direct (0,1) at %d", distant, direct)
+	}
+}
+
+func TestInferErrors(t *testing.T) {
+	if _, err := Infer(&diffusion.Result{}, Options{}); err == nil {
+		t.Fatal("empty result should fail")
+	}
+	res := &diffusion.Result{
+		N:        3,
+		Statuses: diffusion.NewStatusMatrix(2, 3),
+		Cascades: make([]diffusion.Cascade, 5),
+	}
+	if _, err := Infer(res, Options{}); err == nil {
+		t.Fatal("mismatched dims should fail")
+	}
+}
+
+func TestInferMinSupport(t *testing.T) {
+	// With MinSupport larger than beta, nothing can be estimated.
+	g := graph.Chain(5)
+	res := simulate(t, g, 0.9, 0.2, 10, 3)
+	ranked, err := Infer(res, Options{MinSupport: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked) != 0 {
+		t.Fatalf("expected no rankings with impossible support, got %d", len(ranked))
+	}
+}
+
+func TestInferTopMCapsAtAvailable(t *testing.T) {
+	g := graph.Chain(5)
+	res := simulate(t, g, 0.9, 0.2, 200, 4)
+	inferred, err := InferTopM(res, 10_000, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inferred.NumEdges() > 5*4 {
+		t.Fatalf("inferred %d edges from 5 nodes", inferred.NumEdges())
+	}
+}
+
+func TestRankingSorted(t *testing.T) {
+	g := graph.BalancedTree(15, 2)
+	res := simulate(t, g, 0.7, 0.13, 500, 5)
+	ranked, err := Infer(res, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(ranked); i++ {
+		if ranked[i].Weight > ranked[i-1].Weight {
+			t.Fatal("ranking not sorted by lift")
+		}
+	}
+	for _, we := range ranked {
+		if we.Weight <= 0 {
+			t.Fatalf("non-positive lift %v retained", we.Weight)
+		}
+	}
+}

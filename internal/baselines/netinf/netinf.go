@@ -1,0 +1,36 @@
+// Package netinf implements the NetInf baseline (Gomez-Rodriguez, Leskovec
+// and Krause, "Inferring networks of diffusion and influence", KDD 2010),
+// included beyond the paper's comparison set as the single-tree counterpart
+// to MulTree.
+//
+// NetInf approximates each cascade's likelihood by its single most probable
+// propagation tree: each infected node is explained by its best selected
+// potential parent only (the MaxModel of the cascade package). The greedy
+// edge selection is identical in shape to MulTree's, which makes the pair a
+// clean ablation of the all-trees marginalization.
+package netinf
+
+import (
+	"tends/internal/baselines/cascade"
+	"tends/internal/diffusion"
+	"tends/internal/graph"
+)
+
+// Options tunes NetInf.
+type Options struct {
+	Lambda  float64 // exponential transmission rate; 0 means 1
+	Epsilon float64 // external-source weight; 0 means 1e-8
+}
+
+// Infer reconstructs up to m edges from the observed cascades.
+func Infer(res *diffusion.Result, m int, opt Options) (*graph.Directed, error) {
+	set, err := cascade.Build(res, cascade.Options{Lambda: opt.Lambda, Epsilon: opt.Epsilon})
+	if err != nil {
+		return nil, err
+	}
+	greedy, err := cascade.Greedy(set, cascade.MaxModel{Epsilon: set.Epsilon}, m)
+	if err != nil {
+		return nil, err
+	}
+	return greedy.Graph, nil
+}

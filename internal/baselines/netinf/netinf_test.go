@@ -1,0 +1,49 @@
+package netinf
+
+import (
+	"math/rand"
+	"testing"
+
+	"tends/internal/diffusion"
+	"tends/internal/graph"
+	"tends/internal/metrics"
+)
+
+func simulate(t *testing.T, g *graph.Directed, mu, alpha float64, beta int, seed int64) *diffusion.Result {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	ep := diffusion.NewEdgeProbs(g, mu, 0.05, rng)
+	res, err := diffusion.Simulate(ep, diffusion.Config{Alpha: alpha, Beta: beta}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestInferRecoversChain(t *testing.T) {
+	g := graph.Chain(10)
+	res := simulate(t, g, 0.8, 0.1, 300, 1)
+	inferred, err := Infer(res, g.NumEdges(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prf := metrics.Score(g, inferred)
+	if prf.F < 0.6 {
+		t.Fatalf("chain F = %.3f", prf.F)
+	}
+}
+
+func TestInferBudgetAndErrors(t *testing.T) {
+	g := graph.Chain(6)
+	res := simulate(t, g, 0.8, 0.17, 100, 2)
+	inferred, err := Infer(res, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inferred.NumEdges() > 2 {
+		t.Fatalf("budget exceeded: %d", inferred.NumEdges())
+	}
+	if _, err := Infer(&diffusion.Result{}, 3, Options{}); err == nil {
+		t.Fatal("empty result should fail")
+	}
+}

@@ -1,0 +1,134 @@
+// Package path implements the PATH baseline (Gripon and Rabbat,
+// "Reconstructing a graph from path traces", ISIT 2013), the other
+// timestamp-free method the paper's related work discusses.
+//
+// PATH consumes path-connected node sets: unordered sets of nodes known to
+// lie consecutively on a diffusion path through the network. Its principle
+// is co-occurrence voting with an exclusion rule: within a trace of length
+// three {a, b, c}, one of the nodes is the middle of the path, so at most
+// two of the three possible (undirected) pairs are real edges. Pairs are
+// scored by how often they co-occur across traces, each trace distributing
+// its votes over its pairs, and the top-m pairs are returned.
+//
+// The paper declines to compare against PATH because complete
+// path-connected sets "are often unaccessible in natural diffusion
+// processes" — even with full cascades, exact diffusion paths are ambiguous
+// when multiple paths coexist. This implementation makes that observation
+// concrete: TracesFromCascades extracts the ground-truth parent chains the
+// simulator happens to know, which is strictly more information than any
+// real observer has; PATH's accuracy with this privileged input is the
+// upper bound of what it could achieve in practice.
+package path
+
+import (
+	"fmt"
+	"sort"
+
+	"tends/internal/diffusion"
+	"tends/internal/graph"
+	"tends/internal/metrics"
+)
+
+// Trace is an unordered set of nodes lying consecutively on one diffusion
+// path.
+type Trace []int
+
+// TracesFromCascades extracts all ground-truth path traces of the given
+// length from simulated cascades by walking each infection's parent chain.
+// Length must be at least 2; the canonical PATH setting is 3 (triples).
+func TracesFromCascades(res *diffusion.Result, length int) ([]Trace, error) {
+	if length < 2 {
+		return nil, fmt.Errorf("path: trace length %d too short", length)
+	}
+	var traces []Trace
+	for _, c := range res.Cascades {
+		parent := make(map[int]int, len(c.Infections))
+		for _, inf := range c.Infections {
+			parent[inf.Node] = inf.Parent
+		}
+		for _, inf := range c.Infections {
+			// Walk up the parent chain from this node.
+			chain := make([]int, 0, length)
+			cur := inf.Node
+			for len(chain) < length {
+				chain = append(chain, cur)
+				p, ok := parent[cur]
+				if !ok || p < 0 {
+					break
+				}
+				cur = p
+			}
+			if len(chain) == length {
+				traces = append(traces, Trace(chain))
+			}
+		}
+	}
+	return traces, nil
+}
+
+// Infer scores every unordered node pair by its weighted co-occurrence in
+// the traces and returns the ranking, strongest first. Each trace of k
+// nodes spreads one unit of vote over its k·(k−1)/2 pairs, so long traces
+// (which contain non-adjacent pairs) dilute their own evidence — the
+// exclusion principle of the original construction.
+func Infer(n int, traces []Trace) ([]metrics.WeightedEdge, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("path: invalid node count %d", n)
+	}
+	type pair struct{ a, b int }
+	votes := make(map[pair]float64)
+	for _, tr := range traces {
+		k := len(tr)
+		if k < 2 {
+			continue
+		}
+		w := 1.0 / float64(k*(k-1)/2)
+		for i := 0; i < k; i++ {
+			for j := i + 1; j < k; j++ {
+				a, b := tr[i], tr[j]
+				if a == b {
+					continue
+				}
+				if a > b {
+					a, b = b, a
+				}
+				if a < 0 || b >= n {
+					return nil, fmt.Errorf("path: trace node out of range [0,%d)", n)
+				}
+				votes[pair{a, b}] += w
+			}
+		}
+	}
+	out := make([]metrics.WeightedEdge, 0, len(votes))
+	for p, v := range votes {
+		out = append(out, metrics.WeightedEdge{Edge: graph.Edge{From: p.a, To: p.b}, Weight: v})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Weight != out[j].Weight {
+			return out[i].Weight > out[j].Weight
+		}
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out, nil
+}
+
+// InferTopM keeps the m strongest pairs and materializes them as a
+// symmetric digraph (PATH reconstructs undirected adjacency).
+func InferTopM(n int, traces []Trace, m int) (*graph.Directed, error) {
+	ranked, err := Infer(n, traces)
+	if err != nil {
+		return nil, err
+	}
+	g := graph.New(n)
+	for _, we := range ranked {
+		if g.NumEdges() >= m {
+			break
+		}
+		g.AddEdge(we.From, we.To)
+		g.AddEdge(we.To, we.From)
+	}
+	return g, nil
+}

@@ -1,0 +1,124 @@
+package path
+
+import (
+	"math/rand"
+	"testing"
+
+	"tends/internal/diffusion"
+	"tends/internal/graph"
+	"tends/internal/metrics"
+)
+
+func simulate(t *testing.T, g *graph.Directed, mu, alpha float64, beta int, seed int64) *diffusion.Result {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	ep := diffusion.NewEdgeProbs(g, mu, 0.05, rng)
+	res, err := diffusion.Simulate(ep, diffusion.Config{Alpha: alpha, Beta: beta}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestTracesFromCascades(t *testing.T) {
+	g := graph.Chain(6)
+	res := simulate(t, g, 0.95, 0.17, 50, 1)
+	traces, err := TracesFromCascades(res, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) == 0 {
+		t.Fatal("no traces extracted from near-certain chain diffusion")
+	}
+	for _, tr := range traces {
+		if len(tr) != 3 {
+			t.Fatalf("trace length %d, want 3", len(tr))
+		}
+		// On a chain, the parent-chain triples are consecutive nodes in
+		// descending order: {v, v-1, v-2}.
+		if tr[1] != tr[0]-1 || tr[2] != tr[0]-2 {
+			t.Fatalf("non-consecutive chain trace %v", tr)
+		}
+	}
+}
+
+func TestTracesLengthValidation(t *testing.T) {
+	g := graph.Chain(4)
+	res := simulate(t, g, 0.9, 0.25, 10, 2)
+	if _, err := TracesFromCascades(res, 1); err == nil {
+		t.Fatal("length 1 should fail")
+	}
+	pairs, err := TracesFromCascades(res, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range pairs {
+		if len(tr) != 2 {
+			t.Fatalf("trace length %d, want 2", len(tr))
+		}
+	}
+}
+
+func TestInferRecoversChainSkeleton(t *testing.T) {
+	g := graph.Chain(10)
+	und := g.Clone()
+	und.Symmetrize()
+	res := simulate(t, g, 0.8, 0.1, 400, 3)
+	traces, err := TracesFromCascades(res, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inferred, err := InferTopM(10, traces, und.NumEdges())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prf := metrics.Score(und, inferred)
+	if prf.F < 0.7 {
+		t.Fatalf("PATH chain skeleton F = %.3f, want >= 0.7", prf.F)
+	}
+}
+
+func TestInferRanking(t *testing.T) {
+	traces := []Trace{{0, 1, 2}, {0, 1, 3}, {0, 1, 4}}
+	ranked, err := Infer(5, traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked) == 0 {
+		t.Fatal("no pairs ranked")
+	}
+	top := ranked[0]
+	if !(top.From == 0 && top.To == 1) {
+		t.Fatalf("most frequent pair should rank first, got %v", top.Edge)
+	}
+	for i := 1; i < len(ranked); i++ {
+		if ranked[i].Weight > ranked[i-1].Weight {
+			t.Fatal("ranking not sorted")
+		}
+	}
+}
+
+func TestInferErrors(t *testing.T) {
+	if _, err := Infer(0, nil); err == nil {
+		t.Fatal("n=0 should fail")
+	}
+	if _, err := Infer(3, []Trace{{0, 7}}); err == nil {
+		t.Fatal("out-of-range trace node should fail")
+	}
+}
+
+func TestInferTopMBudget(t *testing.T) {
+	traces := []Trace{{0, 1, 2}, {1, 2, 3}, {2, 3, 4}}
+	g, err := InferTopM(5, traces, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() > 4+1 { // symmetric insertion may land exactly on or one above the cut
+		t.Fatalf("budget exceeded: %d edges", g.NumEdges())
+	}
+	for _, e := range g.Edges() {
+		if !g.HasEdge(e.To, e.From) {
+			t.Fatalf("PATH output not symmetric at %v", e)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"testing"
+
+	"tends/internal/graph"
+)
+
+// Micro-benchmarks of the TENDS hot paths at the paper's default workload
+// scale (n=200, β=150).
+
+func BenchmarkComputeIMI(b *testing.B) {
+	m := randomStatus(150, 200, 42)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ComputeIMI(m, false)
+	}
+}
+
+func BenchmarkSelectThresholdKMeans(b *testing.B) {
+	m := randomStatus(150, 200, 42)
+	imi := ComputeIMI(m, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SelectThreshold(imi)
+	}
+}
+
+func BenchmarkSelectThresholdFDR(b *testing.B) {
+	m := randomStatus(150, 200, 42)
+	imi := ComputeIMI(m, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SelectThresholdFDR(imi, 150, 0.2)
+	}
+}
+
+func BenchmarkLocalScoreSmall(b *testing.B) {
+	s := NewScorer(randomStatus(150, 200, 42))
+	parents := []int{3, 17}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.LocalScore(0, parents)
+	}
+}
+
+func BenchmarkLocalScoreLarge(b *testing.B) {
+	s := NewScorer(randomStatus(150, 200, 42))
+	parents := []int{3, 17, 42, 77, 101, 150, 163, 199}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.LocalScore(0, parents)
+	}
+}
+
+func BenchmarkInferChain200(b *testing.B) {
+	g := graph.Chain(200)
+	g.Symmetrize()
+	m := simulateOn(b, g, 0.3, 0.15, 150, 9)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Infer(m, Options{Workers: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"testing"
+
+	"tends/internal/graph"
+)
+
+// Parallel inference must produce bit-identical results to serial
+// inference for every worker count.
+func TestInferParallelDeterministic(t *testing.T) {
+	g := graph.Chain(40)
+	g.Symmetrize()
+	sm := simulateOn(t, g, 0.35, 0.1, 300, 21)
+	serial, err := Infer(sm, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 16, 100} {
+		par, err := Infer(sm, Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !serial.Graph.Equal(par.Graph) {
+			t.Fatalf("workers=%d produced a different topology", workers)
+		}
+		if serial.Score != par.Score {
+			t.Fatalf("workers=%d score %v != serial %v", workers, par.Score, serial.Score)
+		}
+		for i := range serial.Parents {
+			if len(serial.Parents[i]) != len(par.Parents[i]) {
+				t.Fatalf("workers=%d: parent set of node %d differs", workers, i)
+			}
+			for j := range serial.Parents[i] {
+				if serial.Parents[i][j] != par.Parents[i][j] {
+					t.Fatalf("workers=%d: parent set of node %d differs", workers, i)
+				}
+			}
+		}
+	}
+}
+
+func TestInferDefaultWorkers(t *testing.T) {
+	g := graph.Star(10)
+	g.Symmetrize()
+	sm := simulateOn(t, g, 0.4, 0.1, 200, 22)
+	// Workers=0 (default: GOMAXPROCS) must run and agree with serial.
+	def, err := Infer(sm, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := Infer(sm, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !def.Graph.Equal(serial.Graph) {
+		t.Fatal("default worker count changed the result")
+	}
+}

@@ -1,0 +1,456 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"tends/internal/diffusion"
+	"tends/internal/graph"
+)
+
+// Options tunes the TENDS algorithm. The zero value reproduces the paper's
+// configuration.
+type Options struct {
+	// MaxComboSize bounds the size of the parent-node combinations W
+	// enumerated per node (the paper's η). Values above it are never
+	// enumerated even when Theorem 2 would allow them, keeping the
+	// combination count polynomial. 0 means the default of 2.
+	MaxComboSize int
+
+	// ThresholdScale multiplies the automatically selected pruning
+	// threshold τ, the sweep of Figs. 10–11. 0 means 1 (use τ as found).
+	ThresholdScale float64
+
+	// FixedThreshold, when non-nil, bypasses threshold selection entirely
+	// and prunes with the given absolute IMI value.
+	FixedThreshold *float64
+
+	// TraditionalMI replaces infection MI with plain mutual information in
+	// the pruning stage (the ablation of Figs. 10–11).
+	TraditionalMI bool
+
+	// MaxCandidates keeps only the top-k candidates per node by IMI value
+	// after thresholding. Saturated diffusions (large α·n, high μ) can
+	// leave a hundred-plus weakly correlated candidates per node, which
+	// the paper's κ ≪ n assumption does not anticipate; the cap bounds
+	// the combination enumeration there. True parents carry the largest
+	// IMI values, so the cap rarely costs recall. 0 means the default of
+	// 32; negative means unlimited (the literal paper configuration).
+	MaxCandidates int
+
+	// ThresholdMethod selects how the pruning threshold τ is derived from
+	// the pairwise values; see the constants for the trade-offs.
+	// ThresholdScale multiplies whichever threshold is selected.
+	ThresholdMethod ThresholdMethod
+
+	// FDRAlpha is the false-discovery-rate level used by ThresholdAuto and
+	// ThresholdFDR. 0 means the default of 0.2, which lands the threshold
+	// at the F-score optimum across the calibration workloads; note the
+	// IMI statistic undershoots the χ²(1) null it is tested against, so
+	// the realized false-discovery rate is far below this nominal level.
+	FDRAlpha float64
+
+	// Penalty selects the statistical-error penalty of the local score;
+	// the zero value is the paper's Eq. (13) penalty. See PenaltyMode.
+	Penalty PenaltyMode
+
+	// DisableBound ignores the Theorem-2 upper bound (ablation).
+	DisableBound bool
+
+	// StaticGreedy follows Algorithm 1 literally: combinations are ranked
+	// once by their standalone score g(v_i, W) and merged in that order
+	// subject only to the Theorem-2 bound. The default (false) follows the
+	// prose of Section IV-A: a combination is merged only when it improves
+	// the current g(v_i, F_i), recomputed as F_i grows — which is both
+	// closer to the described greedy and more precise.
+	StaticGreedy bool
+
+	// Workers sets the number of goroutines searching parent sets; the
+	// per-node searches are independent, so the output is identical for
+	// any worker count. 0 means GOMAXPROCS; 1 forces serial execution.
+	Workers int
+
+	// BackwardPrune adds a backward-elimination pass after the greedy
+	// expansion: parents whose removal does not decrease g(v_i, F_i) are
+	// dropped, to a fixpoint. The forward greedy merges whole combinations
+	// and can strand a member whose contribution the rest of the set
+	// already explains; the backward pass cleans those up, trading a
+	// little extra scoring work for precision. An extension beyond the
+	// paper's Algorithm 1 (off by default).
+	BackwardPrune bool
+}
+
+// ThresholdMethod enumerates the pruning-threshold selection strategies.
+type ThresholdMethod int
+
+const (
+	// ThresholdAuto (the default) takes the larger of the K-means and FDR
+	// thresholds: a candidate must sit in the K-means significant cluster
+	// AND be statistically significant under FDR control. The two rules
+	// fail in opposite regimes — K-means collapses into the noise shoulder
+	// on large networks where true edges are a vanishing fraction of all
+	// pairs, while pure FDR admits real-but-indirect dependencies when β
+	// is very large — and their maximum is robust across both.
+	ThresholdAuto ThresholdMethod = iota
+	// ThresholdKMeans is the paper's Section IV-B heuristic: one modified
+	// K-means (K=2, one centroid pinned at 0) over all non-negative
+	// pairwise values; τ is the largest value in the near-zero cluster.
+	ThresholdKMeans
+	// ThresholdKMeansPerNode runs the paper's K-means separately over the
+	// values involving each node, yielding per-node thresholds τ_i.
+	ThresholdKMeansPerNode
+	// ThresholdFDR calibrates the pairwise values against the χ²(1) null
+	// and runs Benjamini–Hochberg at FDRAlpha, with no clustering.
+	ThresholdFDR
+)
+
+func (o Options) withDefaults() Options {
+	if o.MaxComboSize == 0 {
+		o.MaxComboSize = 2
+	}
+	if o.ThresholdScale == 0 {
+		o.ThresholdScale = 1
+	}
+	if o.MaxCandidates == 0 {
+		o.MaxCandidates = 32
+	}
+	if o.FDRAlpha == 0 {
+		o.FDRAlpha = 0.2
+	}
+	return o
+}
+
+// Result carries the inferred topology along with the intermediate
+// artifacts that the experiments and diagnostics report on.
+type Result struct {
+	Graph     *graph.Directed
+	Threshold float64 // the global pruning threshold (after scaling/override)
+	AutoTau   float64 // the global τ selected by the K-means heuristic
+	// NodeThresholds holds the per-node τ_i actually applied under
+	// ThresholdKMeansPerNode; nil for the global methods.
+	NodeThresholds []float64
+	Parents        [][]int // parent set per node
+	Score          float64 // g(T) of the inferred topology
+}
+
+// Infer reconstructs the diffusion network topology from final infection
+// statuses, per Algorithm 1 of the paper.
+func Infer(sm *diffusion.StatusMatrix, opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	if sm.N() == 0 {
+		return nil, fmt.Errorf("core: status matrix has no nodes")
+	}
+	if sm.Beta() == 0 {
+		return nil, fmt.Errorf("core: status matrix has no observations")
+	}
+	if opt.MaxComboSize < 1 {
+		return nil, fmt.Errorf("core: MaxComboSize must be >= 1, got %d", opt.MaxComboSize)
+	}
+	if opt.ThresholdScale < 0 {
+		return nil, fmt.Errorf("core: ThresholdScale must be non-negative, got %v", opt.ThresholdScale)
+	}
+
+	imi := ComputeIMI(sm, opt.TraditionalMI)
+	var autoTau float64
+	switch opt.ThresholdMethod {
+	case ThresholdAuto:
+		autoTau = max(SelectThreshold(imi), SelectThresholdFDR(imi, sm.Beta(), opt.FDRAlpha))
+	case ThresholdFDR:
+		autoTau = SelectThresholdFDR(imi, sm.Beta(), opt.FDRAlpha)
+	case ThresholdKMeans, ThresholdKMeansPerNode:
+		autoTau = SelectThreshold(imi)
+	default:
+		return nil, fmt.Errorf("core: unknown threshold method %d", opt.ThresholdMethod)
+	}
+	tau := autoTau * opt.ThresholdScale
+	if opt.FixedThreshold != nil {
+		tau = *opt.FixedThreshold
+	}
+
+	scorer := NewScorer(sm)
+	scorer.SetPenaltyMode(opt.Penalty)
+	n := sm.N()
+	res := &Result{
+		Graph:     graph.New(n),
+		Threshold: tau,
+		AutoTau:   autoTau,
+		Parents:   make([][]int, n),
+	}
+	perNode := opt.FixedThreshold == nil && opt.ThresholdMethod == ThresholdKMeansPerNode
+	if perNode {
+		res.NodeThresholds = make([]float64, n)
+		for i := 0; i < n; i++ {
+			res.NodeThresholds[i] = SelectNodeThreshold(imi, i) * opt.ThresholdScale
+		}
+	}
+	searchNode := func(i int) []int {
+		nodeTau := tau
+		if perNode {
+			nodeTau = res.NodeThresholds[i]
+		}
+		cands := imi.Candidates(i, nodeTau)
+		if opt.MaxCandidates > 0 && len(cands) > opt.MaxCandidates {
+			sort.Slice(cands, func(a, b int) bool { return imi.At(i, cands[a]) > imi.At(i, cands[b]) })
+			cands = cands[:opt.MaxCandidates]
+			sort.Ints(cands)
+		}
+		return searchParents(scorer, i, cands, opt)
+	}
+
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			res.Parents[i] = searchNode(i)
+		}
+	} else {
+		// The per-node searches only read the scorer and IMI matrix;
+		// each worker writes a disjoint slot of res.Parents, so the
+		// output is identical for any worker count.
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					res.Parents[i] = searchNode(i)
+				}
+			}()
+		}
+		for i := 0; i < n; i++ {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+	for i, parents := range res.Parents {
+		for _, p := range parents {
+			res.Graph.AddEdge(p, i)
+		}
+	}
+	res.Score = scorer.TotalScore(res.Parents)
+	return res, nil
+}
+
+// searchParents runs the greedy most-probable-parent-set search for one
+// node over the pruned candidate set.
+func searchParents(s *Scorer, child int, cands []int, opt Options) []int {
+	if len(cands) == 0 {
+		return nil
+	}
+	combos := enumerateCombos(s, child, cands, opt)
+	if len(combos) == 0 {
+		return nil
+	}
+	var parents []int
+	if opt.StaticGreedy {
+		parents = staticMerge(s, child, combos, opt)
+	} else {
+		parents = adaptiveMerge(s, child, combos, opt)
+	}
+	if opt.BackwardPrune {
+		parents = backwardPrune(s, child, parents)
+	}
+	return parents
+}
+
+// backwardPrune drops parents whose removal does not decrease the local
+// score, iterating to a fixpoint. Each pass removes the single parent whose
+// removal improves the score the most (ties to the removal that loses the
+// least), so the result does not depend on parent ordering.
+func backwardPrune(s *Scorer, child int, parents []int) []int {
+	cur := append([]int(nil), parents...)
+	curScore := s.LocalScore(child, cur)
+	for len(cur) > 0 {
+		bestIdx := -1
+		bestScore := curScore
+		for i := range cur {
+			trial := make([]int, 0, len(cur)-1)
+			trial = append(trial, cur[:i]...)
+			trial = append(trial, cur[i+1:]...)
+			if sc := s.LocalScore(child, trial); sc >= bestScore {
+				bestScore = sc
+				bestIdx = i
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		cur = append(cur[:bestIdx], cur[bestIdx+1:]...)
+		curScore = bestScore
+	}
+	return cur
+}
+
+// combo is a candidate parent-node combination W with its standalone score
+// g(v_i, W).
+type combo struct {
+	nodes []int
+	score float64
+}
+
+// enumerateCombos lists every combination W ⊆ cands with |W| ≤ MaxComboSize
+// that satisfies the Theorem-2 size condition |W| ≤ log₂(φ_W + δ_i)
+// (Algorithm 1 line 13), along with its local score.
+func enumerateCombos(s *Scorer, child int, cands []int, opt Options) []combo {
+	var out []combo
+	maxSize := opt.MaxComboSize
+	if maxSize > len(cands) {
+		maxSize = len(cands)
+	}
+	cur := make([]int, 0, maxSize)
+	var rec func(start int)
+	rec = func(start int) {
+		if len(cur) > 0 {
+			parts := s.LocalScoreParts(child, cur)
+			if opt.DisableBound || s.BoundHolds(child, len(cur), parts.Phi) {
+				out = append(out, combo{nodes: append([]int(nil), cur...), score: parts.Score()})
+			} else {
+				// Supersets only get larger; Theorem 2 will reject them
+				// too once φ growth stalls, but φ can grow with the set,
+				// so keep enumerating (no early cut here) — the size cap
+				// keeps this cheap.
+			}
+		}
+		if len(cur) == maxSize {
+			return
+		}
+		for k := start; k < len(cands); k++ {
+			cur = append(cur, cands[k])
+			rec(k + 1)
+			cur = cur[:len(cur)-1]
+		}
+	}
+	rec(0)
+	return out
+}
+
+// adaptiveMerge implements the greedy of Section IV-A's prose: starting
+// from F = ∅, repeatedly merge the combination that most increases the
+// current g(v_i, F), while the Theorem-2 bound holds; stop when no
+// remaining combination improves the score.
+//
+// The candidate scan is lazily evaluated: combinations are kept in a
+// max-heap keyed by their last-computed score improvement, and only the
+// heap top is re-evaluated against the grown F. Improvements shrink as F
+// absorbs the signal a combination carries, so stale heads re-sink and the
+// scan touches a small fraction of the combination pool per iteration.
+func adaptiveMerge(s *Scorer, child int, combos []combo, opt Options) []int {
+	inF := make(map[int]bool)
+	var parents []int
+	curScore := s.LocalScore(child, nil)
+	emptyScore := curScore
+
+	h := make(comboHeap, 0, len(combos))
+	for _, c := range combos {
+		// Initial key: standalone score relative to the empty set.
+		h = append(h, lazyCombo{combo: c, gain: c.score - emptyScore, round: 0})
+	}
+	heap.Init(&h)
+
+	round := 0
+	for h.Len() > 0 {
+		top := &h[0]
+		if top.gain <= 0 {
+			break
+		}
+		if top.round != round {
+			union := mergeSets(parents, top.nodes, inF)
+			if len(union) == len(parents) || len(union) > 63 {
+				heap.Pop(&h)
+				continue
+			}
+			parts := s.LocalScoreParts(child, union)
+			if !opt.DisableBound && !s.BoundHolds(child, len(union), parts.Phi) {
+				heap.Pop(&h)
+				continue
+			}
+			top.gain = parts.Score() - curScore
+			top.round = round
+			if top.gain <= 0 {
+				heap.Pop(&h)
+				continue
+			}
+			heap.Fix(&h, 0)
+			continue
+		}
+		// Fresh top: accept it.
+		union := mergeSets(parents, top.nodes, inF)
+		curScore += top.gain
+		heap.Pop(&h)
+		parents = union
+		for _, v := range parents {
+			inF[v] = true
+		}
+		round++
+	}
+	sort.Ints(parents)
+	return parents
+}
+
+// lazyCombo is a heap entry: a combination with its last-computed score
+// improvement and the greedy round it was computed in.
+type lazyCombo struct {
+	combo
+	gain  float64
+	round int
+}
+
+type comboHeap []lazyCombo
+
+func (h comboHeap) Len() int           { return len(h) }
+func (h comboHeap) Less(i, j int) bool { return h[i].gain > h[j].gain }
+func (h comboHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *comboHeap) Push(x any)        { *h = append(*h, x.(lazyCombo)) }
+func (h *comboHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// staticMerge is Algorithm 1 taken literally: walk combinations in
+// descending standalone score and merge each whose union with F keeps the
+// Theorem-2 bound.
+func staticMerge(s *Scorer, child int, combos []combo, opt Options) []int {
+	sorted := append([]combo(nil), combos...)
+	sort.SliceStable(sorted, func(a, b int) bool { return sorted[a].score > sorted[b].score })
+	inF := make(map[int]bool)
+	var parents []int
+	for _, c := range sorted {
+		union := mergeSets(parents, c.nodes, inF)
+		if len(union) == len(parents) || len(union) > 63 {
+			continue
+		}
+		parts := s.LocalScoreParts(child, union)
+		if !opt.DisableBound && !s.BoundHolds(child, len(union), parts.Phi) {
+			continue
+		}
+		parents = union
+		for _, v := range parents {
+			inF[v] = true
+		}
+	}
+	sort.Ints(parents)
+	return parents
+}
+
+func mergeSets(parents, add []int, inF map[int]bool) []int {
+	union := append([]int(nil), parents...)
+	for _, v := range add {
+		if !inF[v] {
+			union = append(union, v)
+		}
+	}
+	return union
+}

@@ -1,0 +1,112 @@
+package datasets
+
+import (
+	"testing"
+)
+
+func TestNetSciShape(t *testing.T) {
+	g := NetSci(1)
+	if g.NumNodes() != NetSciNodes {
+		t.Fatalf("nodes = %d, want %d", g.NumNodes(), NetSciNodes)
+	}
+	if g.NumEdges() != NetSciEdges {
+		t.Fatalf("edges = %d, want %d", g.NumEdges(), NetSciEdges)
+	}
+	// Co-authorship: symmetric digraph.
+	for _, e := range g.Edges() {
+		if !g.HasEdge(e.To, e.From) {
+			t.Fatalf("NetSci edge %v lacks reverse", e)
+		}
+	}
+}
+
+func TestDUNFShape(t *testing.T) {
+	g := DUNF(1)
+	if g.NumNodes() != DUNFNodes {
+		t.Fatalf("nodes = %d, want %d", g.NumNodes(), DUNFNodes)
+	}
+	if g.NumEdges() != DUNFEdges {
+		t.Fatalf("edges = %d, want %d", g.NumEdges(), DUNFEdges)
+	}
+	// Follow graphs are reciprocal-heavy but not fully symmetric.
+	mutual, oneWay := 0, 0
+	for _, e := range g.Edges() {
+		if g.HasEdge(e.To, e.From) {
+			mutual++
+		} else {
+			oneWay++
+		}
+	}
+	if oneWay == 0 {
+		t.Fatal("DUNF stand-in fully symmetric; follow graphs have one-way edges")
+	}
+	if mutual < oneWay {
+		t.Fatalf("DUNF reciprocity too low: %d mutual vs %d one-way directed edges", mutual, oneWay)
+	}
+}
+
+func TestDUNFFragmented(t *testing.T) {
+	g := DUNF(3)
+	per := DUNFNodes / 6
+	// No edge may cross a component boundary.
+	for _, e := range g.Edges() {
+		if e.From/per != e.To/per {
+			t.Fatalf("edge %v crosses social-circle boundary", e)
+		}
+	}
+}
+
+func TestBoundedDegrees(t *testing.T) {
+	// The stand-ins are bounded-degree community graphs: no node's total
+	// degree should dwarf the mean (see the package comment for why).
+	ns := NetSci(2)
+	s := ns.OutDegreeStats()
+	if float64(s.Max) > 8*s.Mean {
+		t.Fatalf("NetSci has a runaway hub: max=%d mean=%.2f", s.Max, s.Mean)
+	}
+	du := DUNF(2)
+	ds := du.OutDegreeStats()
+	if float64(ds.Max) > 8*ds.Mean {
+		t.Fatalf("DUNF has a runaway hub: max=%d mean=%.2f", ds.Max, ds.Mean)
+	}
+}
+
+func TestDUNFStructuralProfile(t *testing.T) {
+	g := DUNF(4)
+	comps := g.WeaklyConnectedComponents()
+	big := 0
+	for _, c := range comps {
+		if len(c) > 10 {
+			big++
+		}
+	}
+	if big != 6 {
+		t.Fatalf("DUNF has %d social circles, want 6", big)
+	}
+	if r := g.Reciprocity(); r < 0.7 {
+		t.Fatalf("DUNF reciprocity = %.2f, want a mutual-follow-heavy graph", r)
+	}
+}
+
+func TestNetSciStructuralProfile(t *testing.T) {
+	g := NetSci(4)
+	if r := g.Reciprocity(); r != 1 {
+		t.Fatalf("NetSci reciprocity = %v, co-authorship must be symmetric", r)
+	}
+	comps := g.WeaklyConnectedComponents()
+	if len(comps[0]) < NetSciNodes/2 {
+		t.Fatalf("NetSci largest component = %d nodes, expected a dominant component", len(comps[0]))
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	if !NetSci(5).Equal(NetSci(5)) {
+		t.Fatal("NetSci not deterministic for fixed seed")
+	}
+	if !DUNF(5).Equal(DUNF(5)) {
+		t.Fatal("DUNF not deterministic for fixed seed")
+	}
+	if NetSci(1).Equal(NetSci(2)) {
+		t.Fatal("different seeds produced identical NetSci graphs")
+	}
+}

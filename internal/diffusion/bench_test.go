@@ -1,0 +1,54 @@
+package diffusion
+
+import (
+	"math/rand"
+	"testing"
+
+	"tends/internal/graph"
+)
+
+func benchNetwork(b *testing.B) *EdgeProbs {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	g := graph.GNM(200, 800, rng)
+	return NewEdgeProbs(g, 0.3, 0.05, rng)
+}
+
+func BenchmarkSimulateIC(b *testing.B) {
+	ep := benchNetwork(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(int64(i)))
+		if _, err := Simulate(ep, Config{Alpha: 0.15, Beta: 150}, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulateLT(b *testing.B) {
+	ep := benchNetwork(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(int64(i)))
+		if _, err := SimulateLT(ep, Config{Alpha: 0.15, Beta: 150}, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkJointCounts(b *testing.B) {
+	m := NewStatusMatrix(150, 200)
+	rng := rand.New(rand.NewSource(2))
+	for p := 0; p < 150; p++ {
+		for v := 0; v < 200; v++ {
+			m.Set(p, v, rng.Intn(2) == 0)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.JointCounts(i%200, (i+7)%200)
+	}
+}

@@ -1,0 +1,189 @@
+package diffusion
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The cascade text format, shared by cmd/diffsim (writer) and
+// cmd/reconstruct (reader):
+//
+//	cascades <beta> <n>
+//	<seed>,<seed>,...;<node>@<time> <node>@<time> ...
+//
+// One line per diffusion process; infections are listed in recorded order,
+// seeds first (seeds appear both in the seed list and as @0 infections).
+
+// WriteCascades serializes a simulation result's cascades.
+func WriteCascades(w io.Writer, res *Result) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "cascades %d %d\n", len(res.Cascades), res.N); err != nil {
+		return err
+	}
+	for _, c := range res.Cascades {
+		for i, s := range c.Seeds {
+			if i > 0 {
+				fmt.Fprint(bw, ",")
+			}
+			fmt.Fprintf(bw, "%d", s)
+		}
+		fmt.Fprint(bw, ";")
+		for i, inf := range c.Infections {
+			if i > 0 {
+				fmt.Fprint(bw, " ")
+			}
+			fmt.Fprintf(bw, "%d@%.6f", inf.Node, inf.Time)
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// ReadCascades parses cascades in the WriteCascades format and rebuilds a
+// full Result: the status matrix is derived from the infections, and
+// parent/round attributions — which the file format does not carry — are
+// approximated from the timestamps (the earlier-infected node closest in
+// time becomes the recorded parent; seeds keep Parent = -1). Downstream
+// baselines consume only node identities and timestamps, so the
+// approximation does not affect them.
+func ReadCascades(r io.Reader) (*Result, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+	var res *Result
+	var beta int
+	lineNo := 0
+	row := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if res == nil {
+			var n int
+			var err error
+			beta, n, err = parseDimHeader(line, "cascades", lineNo)
+			if err != nil {
+				return nil, err
+			}
+			if n == 0 {
+				return nil, fmt.Errorf("diffusion: line %d: cascades need at least one node", lineNo)
+			}
+			res = &Result{
+				N:        n,
+				Statuses: NewStatusMatrix(beta, n),
+				Cascades: make([]Cascade, beta),
+			}
+			continue
+		}
+		if row >= beta {
+			return nil, fmt.Errorf("diffusion: line %d: more cascades than declared %d", lineNo, beta)
+		}
+		c, err := parseCascadeLine(line, res.N, lineNo)
+		if err != nil {
+			return nil, err
+		}
+		res.Cascades[row] = c
+		for _, inf := range c.Infections {
+			res.Statuses.Set(row, inf.Node, true)
+		}
+		row++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if res == nil {
+		return nil, fmt.Errorf("diffusion: empty input, missing %q header", "cascades <beta> <n>")
+	}
+	if row != beta {
+		return nil, fmt.Errorf("diffusion: got %d cascades, want %d", row, beta)
+	}
+	return res, nil
+}
+
+func parseCascadeLine(line string, n, lineNo int) (Cascade, error) {
+	var c Cascade
+	seedPart, infPart, found := strings.Cut(line, ";")
+	if !found {
+		return c, fmt.Errorf("diffusion: line %d: missing %q separator", lineNo, ";")
+	}
+	seedSet := map[int]bool{}
+	for _, f := range strings.Split(seedPart, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		s, err := strconv.Atoi(f)
+		if err != nil {
+			return c, fmt.Errorf("diffusion: line %d: bad seed %q: %v", lineNo, f, err)
+		}
+		if s < 0 || s >= n {
+			return c, fmt.Errorf("diffusion: line %d: seed %d out of range [0,%d)", lineNo, s, n)
+		}
+		c.Seeds = append(c.Seeds, s)
+		seedSet[s] = true
+	}
+	type timed struct {
+		node int
+		t    float64
+	}
+	var events []timed
+	for _, f := range strings.Fields(infPart) {
+		nodeStr, timeStr, found := strings.Cut(f, "@")
+		if !found {
+			return c, fmt.Errorf("diffusion: line %d: bad infection %q", lineNo, f)
+		}
+		node, err := strconv.Atoi(nodeStr)
+		if err != nil {
+			return c, fmt.Errorf("diffusion: line %d: bad node in %q: %v", lineNo, f, err)
+		}
+		if node < 0 || node >= n {
+			return c, fmt.Errorf("diffusion: line %d: node %d out of range [0,%d)", lineNo, node, n)
+		}
+		t, err := strconv.ParseFloat(timeStr, 64)
+		if err != nil {
+			return c, fmt.Errorf("diffusion: line %d: bad time in %q: %v", lineNo, f, err)
+		}
+		if t < 0 {
+			return c, fmt.Errorf("diffusion: line %d: negative time in %q", lineNo, f)
+		}
+		events = append(events, timed{node, t})
+	}
+	// Reconstruct parents/rounds: walk events in time order; each non-seed
+	// gets the latest strictly earlier event as its recorded parent.
+	byTime := append([]timed(nil), events...)
+	sort.SliceStable(byTime, func(i, j int) bool { return byTime[i].t < byTime[j].t })
+	parent := map[int]int{}
+	round := map[int]int{}
+	for i, ev := range byTime {
+		if seedSet[ev.node] || ev.t == 0 {
+			parent[ev.node] = -1
+			round[ev.node] = 0
+			continue
+		}
+		p := -1
+		for j := i - 1; j >= 0; j-- {
+			if byTime[j].t < ev.t {
+				p = byTime[j].node
+				break
+			}
+		}
+		parent[ev.node] = p
+		if p >= 0 {
+			round[ev.node] = round[p] + 1
+		}
+	}
+	for _, ev := range events {
+		c.Infections = append(c.Infections, Infection{
+			Node:   ev.node,
+			Round:  round[ev.node],
+			Time:   ev.t,
+			Parent: parent[ev.node],
+		})
+	}
+	return c, nil
+}

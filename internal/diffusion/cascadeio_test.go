@@ -1,0 +1,138 @@
+package diffusion
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"tends/internal/graph"
+)
+
+func TestCascadeRoundTrip(t *testing.T) {
+	g := graph.Chain(12)
+	g.Symmetrize()
+	ep := UniformEdgeProbs(g, 0.6)
+	res, err := Simulate(ep, Config{Alpha: 0.1, Beta: 25}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCascades(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCascades(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != res.N || len(got.Cascades) != len(res.Cascades) {
+		t.Fatalf("dims: N=%d cascades=%d", got.N, len(got.Cascades))
+	}
+	// Statuses must be reconstructed exactly.
+	for p := 0; p < 25; p++ {
+		for v := 0; v < 12; v++ {
+			if got.Statuses.Get(p, v) != res.Statuses.Get(p, v) {
+				t.Fatalf("status mismatch at (%d,%d)", p, v)
+			}
+		}
+	}
+	// Node identities, seed sets, and timestamps must survive (times are
+	// serialized with 6 decimals).
+	for ci, c := range got.Cascades {
+		orig := res.Cascades[ci]
+		if len(c.Seeds) != len(orig.Seeds) {
+			t.Fatalf("cascade %d: seed count", ci)
+		}
+		if len(c.Infections) != len(orig.Infections) {
+			t.Fatalf("cascade %d: infection count", ci)
+		}
+		for j, inf := range c.Infections {
+			if inf.Node != orig.Infections[j].Node {
+				t.Fatalf("cascade %d: node order changed", ci)
+			}
+			if math.Abs(inf.Time-orig.Infections[j].Time) > 1e-5 {
+				t.Fatalf("cascade %d: time %v vs %v", ci, inf.Time, orig.Infections[j].Time)
+			}
+		}
+	}
+}
+
+func TestReadCascadesParentReconstruction(t *testing.T) {
+	in := "cascades 1 4\n0;0@0.000000 1@1.500000 2@2.500000\n"
+	res, err := ReadCascades(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Cascades[0]
+	byNode := map[int]Infection{}
+	for _, inf := range c.Infections {
+		byNode[inf.Node] = inf
+	}
+	if byNode[0].Parent != -1 {
+		t.Fatalf("seed parent = %d", byNode[0].Parent)
+	}
+	if byNode[1].Parent != 0 {
+		t.Fatalf("node 1 parent = %d, want 0 (latest earlier event)", byNode[1].Parent)
+	}
+	if byNode[2].Parent != 1 {
+		t.Fatalf("node 2 parent = %d, want 1", byNode[2].Parent)
+	}
+	if byNode[2].Round != 2 {
+		t.Fatalf("node 2 round = %d, want 2", byNode[2].Round)
+	}
+}
+
+func TestReadCascadesErrors(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"empty", ""},
+		{"bad header", "cascade 1 4\n"},
+		{"zero nodes", "cascades 1 0\n0;0@0\n"},
+		{"no separator", "cascades 1 4\n0 0@0\n"},
+		{"bad seed", "cascades 1 4\nx;0@0\n"},
+		{"seed range", "cascades 1 4\n9;0@0\n"},
+		{"bad infection", "cascades 1 4\n0;0\n"},
+		{"bad node", "cascades 1 4\n0;x@0\n"},
+		{"node range", "cascades 1 4\n0;7@0\n"},
+		{"bad time", "cascades 1 4\n0;0@x\n"},
+		{"negative time", "cascades 1 4\n0;0@-1\n"},
+		{"too few rows", "cascades 2 4\n0;0@0\n"},
+		{"too many rows", "cascades 1 4\n0;0@0\n1;1@0\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadCascades(strings.NewReader(tc.in)); err == nil {
+				t.Fatalf("ReadCascades(%q) succeeded, want error", tc.in)
+			}
+		})
+	}
+}
+
+func TestCascadeFileFeedsBaselinesEquivalently(t *testing.T) {
+	// A round-tripped result must give identical inputs to the cascade
+	// machinery: node sets and (quantized) timestamps drive everything.
+	g := graph.Chain(8)
+	ep := UniformEdgeProbs(g, 0.8)
+	res, err := Simulate(ep, Config{Alpha: 0.13, Beta: 40}, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCascades(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCascades(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ci := range res.Cascades {
+		a, b := res.Cascades[ci], got.Cascades[ci]
+		ta := a.InfectionTimes(8)
+		tb := b.InfectionTimes(8)
+		for v := range ta {
+			if math.Abs(ta[v]-tb[v]) > 1e-5 {
+				t.Fatalf("cascade %d node %d: time %v vs %v", ci, v, ta[v], tb[v])
+			}
+		}
+	}
+}

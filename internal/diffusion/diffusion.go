@@ -1,0 +1,206 @@
+// Package diffusion simulates independent-cascade diffusion processes on a
+// directed network, producing the observation data every reconstruction
+// algorithm in this repository consumes.
+//
+// Following the paper's Section V-A ("Infection Data"): per-edge propagation
+// probabilities are drawn once per network from a Gaussian with mean μ and
+// standard deviation 0.05 (so >95% of probabilities fall within μ±0.1),
+// clamped into (0,1). Each process seeds ⌈α·n⌉ uniformly random initially
+// infected nodes, then spreads in rounds — every newly infected node gets
+// exactly one chance to infect each currently uninfected child with the
+// edge's probability — until no new infections occur.
+//
+// The simulator records, per process:
+//
+//   - the final infection status vector (what TENDS and LIFT see),
+//   - the seed set (what LIFT additionally needs),
+//   - the full cascade with discrete rounds and continuous timestamps
+//     (what the timestamp-based baselines NetRate/MulTree/NetInf need).
+//
+// Continuous timestamps model incubation: an infection that occurs in round
+// r is stamped r plus an exponential delay, matching the transmission-delay
+// models those baselines assume.
+package diffusion
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tends/internal/graph"
+	"tends/internal/stats"
+)
+
+// EdgeProbs holds per-edge propagation probabilities for a network.
+type EdgeProbs struct {
+	g     *graph.Directed
+	probs map[graph.Edge]float64
+}
+
+// NewEdgeProbs draws a propagation probability for every edge of g from a
+// truncated Gaussian with mean mu and standard deviation sigma.
+func NewEdgeProbs(g *graph.Directed, mu, sigma float64, rng *rand.Rand) *EdgeProbs {
+	ep := &EdgeProbs{g: g, probs: make(map[graph.Edge]float64, g.NumEdges())}
+	for _, e := range g.Edges() {
+		ep.probs[e] = stats.TruncatedGaussian(rng, mu, sigma, 0, 1)
+	}
+	return ep
+}
+
+// UniformEdgeProbs assigns probability p to every edge of g.
+func UniformEdgeProbs(g *graph.Directed, p float64) *EdgeProbs {
+	if p <= 0 || p >= 1 {
+		panic(fmt.Sprintf("diffusion: probability %v outside (0,1)", p))
+	}
+	ep := &EdgeProbs{g: g, probs: make(map[graph.Edge]float64, g.NumEdges())}
+	for _, e := range g.Edges() {
+		ep.probs[e] = p
+	}
+	return ep
+}
+
+// EdgeProbsFromMap builds edge probabilities from an explicit per-edge map
+// (e.g. the output of a probability estimator). Every edge of g must have a
+// probability in (0, 1); entries for non-edges are rejected.
+func EdgeProbsFromMap(g *graph.Directed, probs map[graph.Edge]float64) (*EdgeProbs, error) {
+	ep := &EdgeProbs{g: g, probs: make(map[graph.Edge]float64, g.NumEdges())}
+	for _, e := range g.Edges() {
+		p, ok := probs[e]
+		if !ok {
+			return nil, fmt.Errorf("diffusion: missing probability for edge %v", e)
+		}
+		if p <= 0 || p >= 1 {
+			return nil, fmt.Errorf("diffusion: probability %v for edge %v outside (0,1)", p, e)
+		}
+		ep.probs[e] = p
+	}
+	for e := range probs {
+		if !g.HasEdge(e.From, e.To) {
+			return nil, fmt.Errorf("diffusion: probability given for non-edge %v", e)
+		}
+	}
+	return ep, nil
+}
+
+// Prob returns the propagation probability of edge (from, to); zero if the
+// edge does not exist.
+func (ep *EdgeProbs) Prob(from, to int) float64 {
+	return ep.probs[graph.Edge{From: from, To: to}]
+}
+
+// Graph returns the underlying network.
+func (ep *EdgeProbs) Graph() *graph.Directed { return ep.g }
+
+// Infection records one node infection within a cascade.
+type Infection struct {
+	Node   int
+	Round  int     // discrete diffusion round; seeds are round 0
+	Time   float64 // continuous timestamp; seeds are 0
+	Parent int     // infecting node, -1 for seeds
+}
+
+// Cascade is the full trace of one diffusion process.
+type Cascade struct {
+	Seeds      []int
+	Infections []Infection // in infection order (seeds first)
+}
+
+// InfectionTimes returns a dense n-sized slice of continuous infection
+// timestamps; uninfected nodes are marked with -1.
+func (c *Cascade) InfectionTimes(n int) []float64 {
+	times := make([]float64, n)
+	for i := range times {
+		times[i] = -1
+	}
+	for _, inf := range c.Infections {
+		times[inf.Node] = inf.Time
+	}
+	return times
+}
+
+// Result is the output of simulating β diffusion processes.
+type Result struct {
+	N        int
+	Statuses *StatusMatrix // β×n final infection statuses
+	Cascades []Cascade     // per-process traces, len β
+}
+
+// Config controls a simulation run.
+type Config struct {
+	Alpha float64 // initial infection ratio; seeds = max(1, round(alpha*n))
+	Beta  int     // number of diffusion processes
+}
+
+// Simulate runs cfg.Beta independent-cascade processes on the network
+// described by ep and returns the observations.
+func Simulate(ep *EdgeProbs, cfg Config, rng *rand.Rand) (*Result, error) {
+	n := ep.g.NumNodes()
+	if n == 0 {
+		return nil, fmt.Errorf("diffusion: empty network")
+	}
+	if cfg.Beta <= 0 {
+		return nil, fmt.Errorf("diffusion: Beta must be positive, got %d", cfg.Beta)
+	}
+	if cfg.Alpha <= 0 || cfg.Alpha > 1 {
+		return nil, fmt.Errorf("diffusion: Alpha %v outside (0,1]", cfg.Alpha)
+	}
+	numSeeds := int(cfg.Alpha*float64(n) + 0.5)
+	if numSeeds < 1 {
+		numSeeds = 1
+	}
+	if numSeeds > n {
+		numSeeds = n
+	}
+	res := &Result{
+		N:        n,
+		Statuses: NewStatusMatrix(cfg.Beta, n),
+		Cascades: make([]Cascade, cfg.Beta),
+	}
+	for proc := 0; proc < cfg.Beta; proc++ {
+		cascade := runProcess(ep, numSeeds, rng)
+		res.Cascades[proc] = cascade
+		for _, inf := range cascade.Infections {
+			res.Statuses.Set(proc, inf.Node, true)
+		}
+	}
+	return res, nil
+}
+
+// runProcess executes a single independent-cascade process.
+func runProcess(ep *EdgeProbs, numSeeds int, rng *rand.Rand) Cascade {
+	n := ep.g.NumNodes()
+	seeds := rng.Perm(n)[:numSeeds]
+	infected := make([]bool, n)
+	var cascade Cascade
+	cascade.Seeds = append([]int(nil), seeds...)
+
+	frontier := make([]int, 0, numSeeds)
+	times := make([]float64, n)
+	for _, s := range seeds {
+		infected[s] = true
+		cascade.Infections = append(cascade.Infections, Infection{Node: s, Round: 0, Time: 0, Parent: -1})
+		frontier = append(frontier, s)
+	}
+	round := 0
+	for len(frontier) > 0 {
+		round++
+		var next []int
+		for _, u := range frontier {
+			for _, v := range ep.g.Children(u) {
+				if infected[v] {
+					continue
+				}
+				if rng.Float64() < ep.Prob(u, v) {
+					infected[v] = true
+					// Continuous time: parent's time plus an exponential
+					// transmission delay, the model NetRate assumes.
+					t := times[u] + rng.ExpFloat64()
+					times[v] = t
+					cascade.Infections = append(cascade.Infections, Infection{Node: v, Round: round, Time: t, Parent: u})
+					next = append(next, v)
+				}
+			}
+		}
+		frontier = next
+	}
+	return cascade
+}

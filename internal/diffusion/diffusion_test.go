@@ -1,0 +1,267 @@
+package diffusion
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tends/internal/graph"
+)
+
+func TestSimulateBasic(t *testing.T) {
+	g := graph.Chain(10)
+	ep := UniformEdgeProbs(g, 0.5)
+	rng := rand.New(rand.NewSource(1))
+	res, err := Simulate(ep, Config{Alpha: 0.1, Beta: 20}, rng)
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if res.Statuses.Beta() != 20 || res.Statuses.N() != 10 {
+		t.Fatalf("status dims %dx%d", res.Statuses.Beta(), res.Statuses.N())
+	}
+	if len(res.Cascades) != 20 {
+		t.Fatalf("cascades = %d", len(res.Cascades))
+	}
+	for p, c := range res.Cascades {
+		if len(c.Seeds) != 1 {
+			t.Fatalf("process %d: seeds = %d, want 1 (alpha=0.1, n=10)", p, len(c.Seeds))
+		}
+		// Every infection must be reflected in the status matrix.
+		for _, inf := range c.Infections {
+			if !res.Statuses.Get(p, inf.Node) {
+				t.Fatalf("process %d: infection of %d not in status matrix", p, inf.Node)
+			}
+		}
+		// And the status matrix must not contain extra infections.
+		count := 0
+		for v := 0; v < 10; v++ {
+			if res.Statuses.Get(p, v) {
+				count++
+			}
+		}
+		if count != len(c.Infections) {
+			t.Fatalf("process %d: %d statuses but %d infections", p, count, len(c.Infections))
+		}
+	}
+}
+
+func TestSimulateSeedsAreInfected(t *testing.T) {
+	ep := UniformEdgeProbs(graph.Chain(8), 0.3)
+	rng := rand.New(rand.NewSource(2))
+	res, err := Simulate(ep, Config{Alpha: 0.25, Beta: 10}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p, c := range res.Cascades {
+		if len(c.Seeds) != 2 {
+			t.Fatalf("seeds = %d, want 2", len(c.Seeds))
+		}
+		for _, s := range c.Seeds {
+			if !res.Statuses.Get(p, s) {
+				t.Fatalf("seed %d not infected in process %d", s, p)
+			}
+		}
+		// Seeds are distinct.
+		if c.Seeds[0] == c.Seeds[1] {
+			t.Fatalf("duplicate seeds in process %d", p)
+		}
+	}
+}
+
+func TestSimulateNoEdgesOnlySeedsInfected(t *testing.T) {
+	g := graph.New(10)
+	ep := UniformEdgeProbs(g, 0.5)
+	// UniformEdgeProbs on an empty graph has no entries; any Prob is 0.
+	rng := rand.New(rand.NewSource(3))
+	res, err := Simulate(ep, Config{Alpha: 0.2, Beta: 5}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < 5; p++ {
+		infected := 0
+		for v := 0; v < 10; v++ {
+			if res.Statuses.Get(p, v) {
+				infected++
+			}
+		}
+		if infected != 2 {
+			t.Fatalf("process %d: %d infected, want exactly the 2 seeds", p, infected)
+		}
+	}
+}
+
+func TestSimulateFullProbability(t *testing.T) {
+	// p≈1 on a chain from any seed infects every downstream node.
+	g := graph.Chain(6)
+	ep := UniformEdgeProbs(g, 0.999999)
+	rng := rand.New(rand.NewSource(4))
+	res, err := Simulate(ep, Config{Alpha: 0.17, Beta: 50}, rng) // 1 seed
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p, c := range res.Cascades {
+		seed := c.Seeds[0]
+		for v := seed; v < 6; v++ {
+			if !res.Statuses.Get(p, v) {
+				t.Fatalf("process %d: node %d downstream of seed %d not infected at p≈1", p, v, seed)
+			}
+		}
+		for v := 0; v < seed; v++ {
+			if res.Statuses.Get(p, v) {
+				t.Fatalf("process %d: node %d upstream of seed %d infected on a chain", p, v, seed)
+			}
+		}
+	}
+}
+
+func TestSimulateMonotoneInProbability(t *testing.T) {
+	g := graph.BalancedTree(63, 2)
+	count := func(p float64) int {
+		ep := UniformEdgeProbs(g, p)
+		rng := rand.New(rand.NewSource(5))
+		res, err := Simulate(ep, Config{Alpha: 0.02, Beta: 200}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		for proc := 0; proc < 200; proc++ {
+			for v := 0; v < 63; v++ {
+				if res.Statuses.Get(proc, v) {
+					total++
+				}
+			}
+		}
+		return total
+	}
+	lo, hi := count(0.1), count(0.6)
+	if hi <= lo {
+		t.Fatalf("infections not monotone in probability: p=0.1→%d, p=0.6→%d", lo, hi)
+	}
+}
+
+func TestCascadeTimesConsistent(t *testing.T) {
+	g := graph.Chain(20)
+	ep := UniformEdgeProbs(g, 0.9)
+	rng := rand.New(rand.NewSource(6))
+	res, err := Simulate(ep, Config{Alpha: 0.05, Beta: 30}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Cascades {
+		timeOf := make(map[int]float64)
+		roundOf := make(map[int]int)
+		for _, inf := range c.Infections {
+			timeOf[inf.Node] = inf.Time
+			roundOf[inf.Node] = inf.Round
+			if inf.Parent == -1 {
+				if inf.Time != 0 || inf.Round != 0 {
+					t.Fatalf("seed %d has time %v round %d", inf.Node, inf.Time, inf.Round)
+				}
+				continue
+			}
+			pt, ok := timeOf[inf.Parent]
+			if !ok {
+				t.Fatalf("node %d infected by %d before the parent was recorded", inf.Node, inf.Parent)
+			}
+			if inf.Time <= pt {
+				t.Fatalf("child time %v <= parent time %v", inf.Time, pt)
+			}
+			if inf.Round != roundOf[inf.Parent]+1 {
+				t.Fatalf("child round %d, parent round %d", inf.Round, roundOf[inf.Parent])
+			}
+		}
+	}
+}
+
+func TestInfectionTimes(t *testing.T) {
+	c := Cascade{
+		Seeds:      []int{2},
+		Infections: []Infection{{Node: 2, Round: 0, Time: 0, Parent: -1}, {Node: 0, Round: 1, Time: 1.5, Parent: 2}},
+	}
+	times := c.InfectionTimes(4)
+	want := []float64{1.5, -1, 0, -1}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("times = %v, want %v", times, want)
+		}
+	}
+}
+
+func TestSimulateErrors(t *testing.T) {
+	g := graph.Chain(5)
+	ep := UniformEdgeProbs(g, 0.5)
+	rng := rand.New(rand.NewSource(1))
+	cases := []Config{
+		{Alpha: 0, Beta: 10},
+		{Alpha: -0.1, Beta: 10},
+		{Alpha: 1.5, Beta: 10},
+		{Alpha: 0.2, Beta: 0},
+		{Alpha: 0.2, Beta: -3},
+	}
+	for i, cfg := range cases {
+		if _, err := Simulate(ep, cfg, rng); err == nil {
+			t.Fatalf("case %d: Simulate(%+v) succeeded, want error", i, cfg)
+		}
+	}
+	empty := &EdgeProbs{g: graph.New(0), probs: map[graph.Edge]float64{}}
+	if _, err := Simulate(empty, Config{Alpha: 0.5, Beta: 1}, rng); err == nil {
+		t.Fatal("Simulate on empty network should fail")
+	}
+}
+
+func TestEdgeProbsGaussian(t *testing.T) {
+	g := graph.GNM(50, 600, rand.New(rand.NewSource(7)))
+	ep := NewEdgeProbs(g, 0.3, 0.05, rand.New(rand.NewSource(8)))
+	var sum float64
+	count := 0
+	for _, e := range g.Edges() {
+		p := ep.Prob(e.From, e.To)
+		if p <= 0 || p >= 1 {
+			t.Fatalf("edge prob %v outside (0,1)", p)
+		}
+		sum += p
+		count++
+	}
+	if mean := sum / float64(count); math.Abs(mean-0.3) > 0.02 {
+		t.Fatalf("mean edge prob = %v, want ~0.3", mean)
+	}
+	if ep.Prob(0, 0) != 0 {
+		t.Fatal("non-edge probability should be 0")
+	}
+	if ep.Graph() != g {
+		t.Fatal("Graph() accessor broken")
+	}
+}
+
+func TestUniformEdgeProbsPanics(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("UniformEdgeProbs(%v) should panic", p)
+				}
+			}()
+			UniformEdgeProbs(graph.Chain(3), p)
+		}()
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	g := graph.GNM(30, 90, rand.New(rand.NewSource(9)))
+	run := func() *Result {
+		ep := NewEdgeProbs(g, 0.3, 0.05, rand.New(rand.NewSource(10)))
+		res, err := Simulate(ep, Config{Alpha: 0.15, Beta: 25}, rand.New(rand.NewSource(11)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	for p := 0; p < 25; p++ {
+		for v := 0; v < 30; v++ {
+			if a.Statuses.Get(p, v) != b.Statuses.Get(p, v) {
+				t.Fatalf("simulation not deterministic at (%d,%d)", p, v)
+			}
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package diffusion
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadStatus: the status parser must never panic, and accepted input
+// must survive a write/read round trip.
+func FuzzReadStatus(f *testing.F) {
+	f.Add("statuses 2 3\n010\n111\n")
+	f.Add("statuses 0 0\n")
+	f.Add("# c\nstatuses 1 1\n1\n")
+	f.Add("statuses 1 3\n01\n")
+	f.Add("statuses -1 2\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, input string) {
+		m, err := ReadStatus(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := m.WriteStatus(&buf); err != nil {
+			t.Fatalf("accepted matrix failed to serialize: %v", err)
+		}
+		back, err := ReadStatus(&buf)
+		if err != nil {
+			t.Fatalf("own serialization rejected: %v", err)
+		}
+		if back.Beta() != m.Beta() || back.N() != m.N() {
+			t.Fatal("round trip changed dimensions")
+		}
+		for p := 0; p < m.Beta(); p++ {
+			for v := 0; v < m.N(); v++ {
+				if m.Get(p, v) != back.Get(p, v) {
+					t.Fatal("round trip changed a cell")
+				}
+			}
+		}
+	})
+}
+
+// FuzzReadCascades: the cascade parser must never panic, and accepted input
+// must produce a result whose statuses match its infections.
+func FuzzReadCascades(f *testing.F) {
+	f.Add("cascades 1 4\n0;0@0.000000 1@1.500000\n")
+	f.Add("cascades 0 1\n")
+	f.Add("cascades 1 2\n0,1;0@0 1@0\n")
+	f.Add("cascades 1 4\n0 0@0\n")
+	f.Add("cascades 1 4\n0;9@0\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, input string) {
+		res, err := ReadCascades(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		for p, c := range res.Cascades {
+			for _, inf := range c.Infections {
+				if inf.Node < 0 || inf.Node >= res.N {
+					t.Fatalf("accepted out-of-range node %d", inf.Node)
+				}
+				if !res.Statuses.Get(p, inf.Node) {
+					t.Fatal("infection not reflected in statuses")
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,83 @@
+package diffusion
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Corrupt returns a copy of the status matrix with each cell independently
+// flipped with probability flip — the observation-noise model for studying
+// robustness to unreliable monitoring (false positives from misdiagnosis,
+// false negatives from asymptomatic infections). flip must be in [0, 1).
+func Corrupt(m *StatusMatrix, flip float64, rng *rand.Rand) (*StatusMatrix, error) {
+	if flip < 0 || flip >= 1 {
+		return nil, fmt.Errorf("diffusion: flip probability %v outside [0,1)", flip)
+	}
+	out := NewStatusMatrix(m.Beta(), m.N())
+	for p := 0; p < m.Beta(); p++ {
+		for v := 0; v < m.N(); v++ {
+			s := m.Get(p, v)
+			if rng.Float64() < flip {
+				s = !s
+			}
+			out.Set(p, v, s)
+		}
+	}
+	return out, nil
+}
+
+// PerturbTimestamps returns a deep copy of the result in which every
+// non-seed infection's continuous timestamp is shifted by Gaussian noise
+// with the given standard deviation (floored at a small positive value so
+// time ordering constraints of downstream consumers stay satisfiable) —
+// the incubation-period model of the paper's introduction: observed onset
+// times do not reflect the true infection times. Final statuses are
+// untouched, so status-only methods are unaffected by construction while
+// cascade-based methods see scrambled orderings.
+func PerturbTimestamps(res *Result, sigma float64, rng *rand.Rand) (*Result, error) {
+	if sigma < 0 {
+		return nil, fmt.Errorf("diffusion: negative timestamp noise %v", sigma)
+	}
+	out := &Result{
+		N:        res.N,
+		Statuses: res.Statuses, // statuses are immutable here; share
+		Cascades: make([]Cascade, len(res.Cascades)),
+	}
+	for i, c := range res.Cascades {
+		nc := Cascade{
+			Seeds:      append([]int(nil), c.Seeds...),
+			Infections: make([]Infection, len(c.Infections)),
+		}
+		copy(nc.Infections, c.Infections)
+		for j := range nc.Infections {
+			if nc.Infections[j].Parent == -1 {
+				continue // seeds stay at t=0
+			}
+			t := nc.Infections[j].Time + rng.NormFloat64()*sigma
+			if t < 1e-9 {
+				t = 1e-9
+			}
+			nc.Infections[j].Time = t
+		}
+		out.Cascades[i] = nc
+	}
+	return out, nil
+}
+
+// Mask returns a copy of the status matrix where each cell is *erased*
+// (forced to uninfected) with probability drop — the missing-observation
+// model where some nodes are simply never surveyed in some processes.
+func Mask(m *StatusMatrix, drop float64, rng *rand.Rand) (*StatusMatrix, error) {
+	if drop < 0 || drop >= 1 {
+		return nil, fmt.Errorf("diffusion: drop probability %v outside [0,1)", drop)
+	}
+	out := NewStatusMatrix(m.Beta(), m.N())
+	for p := 0; p < m.Beta(); p++ {
+		for v := 0; v < m.N(); v++ {
+			if m.Get(p, v) && rng.Float64() >= drop {
+				out.Set(p, v, true)
+			}
+		}
+	}
+	return out, nil
+}

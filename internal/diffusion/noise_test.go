@@ -1,0 +1,103 @@
+package diffusion
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestCorruptFlipRate(t *testing.T) {
+	m := NewStatusMatrix(200, 50)
+	rng := rand.New(rand.NewSource(1))
+	for p := 0; p < 200; p++ {
+		for v := 0; v < 50; v++ {
+			m.Set(p, v, rng.Intn(2) == 0)
+		}
+	}
+	out, err := Corrupt(m, 0.1, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	flipped := 0
+	for p := 0; p < 200; p++ {
+		for v := 0; v < 50; v++ {
+			if m.Get(p, v) != out.Get(p, v) {
+				flipped++
+			}
+		}
+	}
+	rate := float64(flipped) / float64(200*50)
+	if math.Abs(rate-0.1) > 0.015 {
+		t.Fatalf("flip rate = %.3f, want ~0.1", rate)
+	}
+}
+
+func TestCorruptZeroIsIdentity(t *testing.T) {
+	m := NewStatusMatrix(10, 5)
+	m.Set(3, 2, true)
+	out, err := Corrupt(m, 0, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < 10; p++ {
+		for v := 0; v < 5; v++ {
+			if m.Get(p, v) != out.Get(p, v) {
+				t.Fatal("flip=0 changed a cell")
+			}
+		}
+	}
+	if out == m {
+		t.Fatal("Corrupt must copy, not alias")
+	}
+}
+
+func TestCorruptErrors(t *testing.T) {
+	m := NewStatusMatrix(2, 2)
+	rng := rand.New(rand.NewSource(1))
+	for _, flip := range []float64{-0.1, 1, 2} {
+		if _, err := Corrupt(m, flip, rng); err == nil {
+			t.Fatalf("Corrupt(%v) should fail", flip)
+		}
+	}
+}
+
+func TestMaskOnlyErases(t *testing.T) {
+	m := NewStatusMatrix(100, 20)
+	rng := rand.New(rand.NewSource(3))
+	for p := 0; p < 100; p++ {
+		for v := 0; v < 20; v++ {
+			m.Set(p, v, rng.Intn(2) == 0)
+		}
+	}
+	out, err := Mask(m, 0.3, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	erased, created := 0, 0
+	for p := 0; p < 100; p++ {
+		for v := 0; v < 20; v++ {
+			switch {
+			case m.Get(p, v) && !out.Get(p, v):
+				erased++
+			case !m.Get(p, v) && out.Get(p, v):
+				created++
+			}
+		}
+	}
+	if created != 0 {
+		t.Fatalf("Mask created %d infections", created)
+	}
+	if erased == 0 {
+		t.Fatal("Mask erased nothing at drop=0.3")
+	}
+}
+
+func TestMaskErrors(t *testing.T) {
+	m := NewStatusMatrix(2, 2)
+	rng := rand.New(rand.NewSource(1))
+	for _, drop := range []float64{-0.5, 1, 1.5} {
+		if _, err := Mask(m, drop, rng); err == nil {
+			t.Fatalf("Mask(%v) should fail", drop)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package diffusion
+
+import (
+	"math/rand"
+	"testing"
+
+	"tends/internal/graph"
+)
+
+func TestPerturbTimestamps(t *testing.T) {
+	g := graph.Chain(12)
+	ep := UniformEdgeProbs(g, 0.8)
+	res, err := Simulate(ep, Config{Alpha: 0.1, Beta: 30}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy, err := PerturbTimestamps(res, 1.0, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noisy.Statuses != res.Statuses {
+		t.Fatal("statuses should be shared; they are untouched by timestamp noise")
+	}
+	changed := 0
+	for ci, c := range noisy.Cascades {
+		orig := res.Cascades[ci]
+		if len(c.Infections) != len(orig.Infections) {
+			t.Fatal("infection count changed")
+		}
+		for j, inf := range c.Infections {
+			if inf.Node != orig.Infections[j].Node || inf.Parent != orig.Infections[j].Parent {
+				t.Fatal("identity fields changed")
+			}
+			if inf.Parent == -1 {
+				if inf.Time != 0 {
+					t.Fatalf("seed time perturbed to %v", inf.Time)
+				}
+				continue
+			}
+			if inf.Time <= 0 {
+				t.Fatalf("non-positive perturbed time %v", inf.Time)
+			}
+			if inf.Time != orig.Infections[j].Time {
+				changed++
+			}
+		}
+	}
+	if changed == 0 {
+		t.Fatal("sigma=1 perturbed no timestamps")
+	}
+	// Original must be untouched (deep copy of cascades).
+	for ci, c := range res.Cascades {
+		for j, inf := range c.Infections {
+			if inf.Parent != -1 && noisy.Cascades[ci].Infections[j].Time == inf.Time {
+				continue
+			}
+		}
+	}
+}
+
+func TestPerturbTimestampsZeroSigma(t *testing.T) {
+	g := graph.Chain(5)
+	ep := UniformEdgeProbs(g, 0.9)
+	res, err := Simulate(ep, Config{Alpha: 0.2, Beta: 10}, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	same, err := PerturbTimestamps(res, 0, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ci, c := range same.Cascades {
+		for j, inf := range c.Infections {
+			if inf.Time != res.Cascades[ci].Infections[j].Time {
+				t.Fatal("sigma=0 changed a timestamp")
+			}
+		}
+	}
+}
+
+func TestPerturbTimestampsErrors(t *testing.T) {
+	if _, err := PerturbTimestamps(&Result{}, -1, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("negative sigma should fail")
+	}
+}

@@ -1,0 +1,224 @@
+package diffusion
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/bits"
+	"strconv"
+	"strings"
+)
+
+// StatusMatrix stores the final infection statuses of n nodes across beta
+// diffusion processes as a bit matrix. Row ℓ is the status vector S^ℓ of the
+// paper; column i is the observation history of node v_i. The column-major
+// bit-packed layout makes the joint-count loops at the heart of TENDS run
+// over machine words.
+type StatusMatrix struct {
+	beta, n int
+	words   int      // words per column
+	cols    []uint64 // n * words, column-major
+}
+
+// NewStatusMatrix returns a zeroed beta×n status matrix.
+func NewStatusMatrix(beta, n int) *StatusMatrix {
+	if beta < 0 || n < 0 {
+		panic(fmt.Sprintf("diffusion: invalid matrix dims %dx%d", beta, n))
+	}
+	words := (beta + 63) / 64
+	return &StatusMatrix{beta: beta, n: n, words: words, cols: make([]uint64, n*words)}
+}
+
+// Beta returns the number of diffusion processes (rows).
+func (m *StatusMatrix) Beta() int { return m.beta }
+
+// N returns the number of nodes (columns).
+func (m *StatusMatrix) N() int { return m.n }
+
+func (m *StatusMatrix) checkRow(p int) {
+	if p < 0 || p >= m.beta {
+		panic(fmt.Sprintf("diffusion: process %d out of range [0,%d)", p, m.beta))
+	}
+}
+
+func (m *StatusMatrix) checkCol(v int) {
+	if v < 0 || v >= m.n {
+		panic(fmt.Sprintf("diffusion: node %d out of range [0,%d)", v, m.n))
+	}
+}
+
+// Set assigns the status of node v in process p.
+func (m *StatusMatrix) Set(p, v int, infected bool) {
+	m.checkRow(p)
+	m.checkCol(v)
+	idx := v*m.words + p/64
+	bit := uint64(1) << (p % 64)
+	if infected {
+		m.cols[idx] |= bit
+	} else {
+		m.cols[idx] &^= bit
+	}
+}
+
+// Get reports the status of node v in process p.
+func (m *StatusMatrix) Get(p, v int) bool {
+	m.checkRow(p)
+	m.checkCol(v)
+	return m.cols[v*m.words+p/64]&(1<<(p%64)) != 0
+}
+
+// Column returns the packed status bits of node v. The slice aliases the
+// matrix storage and must not be modified.
+func (m *StatusMatrix) Column(v int) []uint64 {
+	m.checkCol(v)
+	return m.cols[v*m.words : (v+1)*m.words]
+}
+
+// CountInfected returns the number of processes in which node v ended up
+// infected (N₂ of the paper; N₁ = Beta() - N₂).
+func (m *StatusMatrix) CountInfected(v int) int {
+	col := m.Column(v)
+	c := 0
+	for _, w := range col {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// JointCounts returns the 2x2 joint counts of the statuses of nodes a and
+// b: counts[x][y] is the number of processes with status(a)=x, status(b)=y.
+func (m *StatusMatrix) JointCounts(a, b int) (counts [2][2]int) {
+	ca, cb := m.Column(a), m.Column(b)
+	n11 := 0
+	for w := range ca {
+		n11 += bits.OnesCount64(ca[w] & cb[w])
+	}
+	na := m.CountInfected(a)
+	nb := m.CountInfected(b)
+	counts[1][1] = n11
+	counts[1][0] = na - n11
+	counts[0][1] = nb - n11
+	counts[0][0] = m.beta - na - nb + n11
+	return counts
+}
+
+// Row materializes the status vector of process p as a bool slice.
+func (m *StatusMatrix) Row(p int) []bool {
+	m.checkRow(p)
+	row := make([]bool, m.n)
+	for v := 0; v < m.n; v++ {
+		row[v] = m.cols[v*m.words+p/64]&(1<<(p%64)) != 0
+	}
+	return row
+}
+
+// MaxDimension bounds each parsed dimension and MaxCells their product,
+// protecting against absurd allocations from corrupt or hostile headers.
+const (
+	MaxDimension = 1 << 24
+	MaxCells     = 1 << 30
+)
+
+// parseDimHeader parses a "<keyword> <beta> <n>" header with the parser
+// hardening limits applied.
+func parseDimHeader(line, keyword string, lineNo int) (beta, n int, err error) {
+	fields := strings.Fields(line)
+	if len(fields) != 3 || fields[0] != keyword {
+		return 0, 0, fmt.Errorf("diffusion: line %d: expected %q header, got %q", lineNo, keyword+" <beta> <n>", line)
+	}
+	beta, err = strconv.Atoi(fields[1])
+	if err != nil {
+		return 0, 0, fmt.Errorf("diffusion: line %d: bad beta: %v", lineNo, err)
+	}
+	n, err = strconv.Atoi(fields[2])
+	if err != nil {
+		return 0, 0, fmt.Errorf("diffusion: line %d: bad n: %v", lineNo, err)
+	}
+	if beta < 0 || n < 0 {
+		return 0, 0, fmt.Errorf("diffusion: line %d: negative dimensions", lineNo)
+	}
+	if beta > MaxDimension || n > MaxDimension || int64(beta)*int64(n) > MaxCells {
+		return 0, 0, fmt.Errorf("diffusion: line %d: dimensions %dx%d exceed parser limits", lineNo, beta, n)
+	}
+	return beta, n, nil
+}
+
+// The text format mirrors the graph format:
+//
+//	statuses <beta> <n>
+//	0110...  (one line of n '0'/'1' runes per process)
+
+// WriteStatus serializes the matrix.
+func (m *StatusMatrix) WriteStatus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "statuses %d %d\n", m.beta, m.n); err != nil {
+		return err
+	}
+	line := make([]byte, m.n)
+	for p := 0; p < m.beta; p++ {
+		for v := 0; v < m.n; v++ {
+			if m.Get(p, v) {
+				line[v] = '1'
+			} else {
+				line[v] = '0'
+			}
+		}
+		if _, err := bw.Write(line); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadStatus parses a matrix in the format produced by WriteStatus.
+func ReadStatus(r io.Reader) (*StatusMatrix, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var m *StatusMatrix
+	row := 0
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if m == nil {
+			beta, n, err := parseDimHeader(line, "statuses", lineNo)
+			if err != nil {
+				return nil, err
+			}
+			m = NewStatusMatrix(beta, n)
+			continue
+		}
+		if row >= m.beta {
+			return nil, fmt.Errorf("diffusion: line %d: more rows than declared beta=%d", lineNo, m.beta)
+		}
+		if len(line) != m.n {
+			return nil, fmt.Errorf("diffusion: line %d: row has %d statuses, want %d", lineNo, len(line), m.n)
+		}
+		for v := 0; v < m.n; v++ {
+			switch line[v] {
+			case '1':
+				m.Set(row, v, true)
+			case '0':
+			default:
+				return nil, fmt.Errorf("diffusion: line %d: invalid status byte %q", lineNo, line[v])
+			}
+		}
+		row++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if m == nil {
+		return nil, fmt.Errorf("diffusion: empty input, missing %q header", "statuses <beta> <n>")
+	}
+	if row != m.beta {
+		return nil, fmt.Errorf("diffusion: got %d rows, want beta=%d", row, m.beta)
+	}
+	return m, nil
+}

@@ -1,0 +1,181 @@
+package diffusion
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestStatusMatrixSetGet(t *testing.T) {
+	m := NewStatusMatrix(100, 7)
+	m.Set(0, 0, true)
+	m.Set(63, 3, true)
+	m.Set(64, 3, true)
+	m.Set(99, 6, true)
+	if !m.Get(0, 0) || !m.Get(63, 3) || !m.Get(64, 3) || !m.Get(99, 6) {
+		t.Fatal("set bits not readable")
+	}
+	if m.Get(1, 0) || m.Get(62, 3) {
+		t.Fatal("unset bits read as set")
+	}
+	m.Set(63, 3, false)
+	if m.Get(63, 3) {
+		t.Fatal("clear failed")
+	}
+	if m.Get(64, 3) != true {
+		t.Fatal("clear clobbered neighboring word")
+	}
+}
+
+func TestStatusMatrixCounts(t *testing.T) {
+	m := NewStatusMatrix(130, 2)
+	for p := 0; p < 130; p += 2 {
+		m.Set(p, 0, true)
+	}
+	if c := m.CountInfected(0); c != 65 {
+		t.Fatalf("CountInfected = %d, want 65", c)
+	}
+	if c := m.CountInfected(1); c != 0 {
+		t.Fatalf("CountInfected(1) = %d, want 0", c)
+	}
+}
+
+func TestJointCounts(t *testing.T) {
+	m := NewStatusMatrix(8, 2)
+	// a: 1 1 0 0 1 0 1 0 ; b: 1 0 0 1 1 0 0 0
+	aBits := []int{0, 1, 4, 6}
+	bBits := []int{0, 3, 4}
+	for _, p := range aBits {
+		m.Set(p, 0, true)
+	}
+	for _, p := range bBits {
+		m.Set(p, 1, true)
+	}
+	c := m.JointCounts(0, 1)
+	if c[1][1] != 2 { // processes 0 and 4
+		t.Fatalf("n11 = %d, want 2", c[1][1])
+	}
+	if c[1][0] != 2 { // processes 1 and 6
+		t.Fatalf("n10 = %d, want 2", c[1][0])
+	}
+	if c[0][1] != 1 { // process 3
+		t.Fatalf("n01 = %d, want 1", c[0][1])
+	}
+	if c[0][0] != 3 { // processes 2, 5, 7
+		t.Fatalf("n00 = %d, want 3", c[0][0])
+	}
+}
+
+// Property: JointCounts agrees with a naive per-bit computation.
+func TestJointCountsProperty(t *testing.T) {
+	f := func(seed int64, betaRaw, aRaw, bRaw uint8) bool {
+		beta := int(betaRaw%150) + 1
+		rng := rand.New(rand.NewSource(seed))
+		m := NewStatusMatrix(beta, 3)
+		for p := 0; p < beta; p++ {
+			for v := 0; v < 3; v++ {
+				m.Set(p, v, rng.Intn(2) == 1)
+			}
+		}
+		a, b := int(aRaw)%3, int(bRaw)%3
+		got := m.JointCounts(a, b)
+		var want [2][2]int
+		for p := 0; p < beta; p++ {
+			x, y := 0, 0
+			if m.Get(p, a) {
+				x = 1
+			}
+			if m.Get(p, b) {
+				y = 1
+			}
+			want[x][y]++
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRow(t *testing.T) {
+	m := NewStatusMatrix(3, 4)
+	m.Set(1, 0, true)
+	m.Set(1, 3, true)
+	row := m.Row(1)
+	want := []bool{true, false, false, true}
+	for i := range want {
+		if row[i] != want[i] {
+			t.Fatalf("Row(1) = %v, want %v", row, want)
+		}
+	}
+}
+
+func TestStatusRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	m := NewStatusMatrix(77, 13)
+	for p := 0; p < 77; p++ {
+		for v := 0; v < 13; v++ {
+			m.Set(p, v, rng.Intn(2) == 1)
+		}
+	}
+	var buf bytes.Buffer
+	if err := m.WriteStatus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadStatus(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Beta() != 77 || got.N() != 13 {
+		t.Fatalf("dims = %dx%d", got.Beta(), got.N())
+	}
+	for p := 0; p < 77; p++ {
+		for v := 0; v < 13; v++ {
+			if m.Get(p, v) != got.Get(p, v) {
+				t.Fatalf("round trip mismatch at (%d,%d)", p, v)
+			}
+		}
+	}
+}
+
+func TestReadStatusErrors(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"empty", ""},
+		{"bad header", "status 3 3\n010\n"},
+		{"short row", "statuses 1 3\n01\n"},
+		{"long row", "statuses 1 3\n0101\n"},
+		{"bad byte", "statuses 1 3\n0x1\n"},
+		{"too few rows", "statuses 2 3\n010\n"},
+		{"too many rows", "statuses 1 3\n010\n101\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadStatus(strings.NewReader(tc.in)); err == nil {
+				t.Fatalf("ReadStatus(%q) succeeded, want error", tc.in)
+			}
+		})
+	}
+}
+
+func TestStatusMatrixPanics(t *testing.T) {
+	m := NewStatusMatrix(4, 4)
+	for _, fn := range []func(){
+		func() { m.Get(4, 0) },
+		func() { m.Get(0, 4) },
+		func() { m.Set(-1, 0, true) },
+		func() { m.Column(9) },
+		func() { m.Row(-1) },
+		func() { NewStatusMatrix(-1, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"tends/internal/baselines/multree"
+	"tends/internal/baselines/netinf"
+	"tends/internal/core"
+	"tends/internal/diffusion"
+	"tends/internal/graph"
+	"tends/internal/metrics"
+)
+
+// Ablations beyond the paper's figures (DESIGN.md §6). Each studies one
+// design choice by toggling it on a fixed workload and reporting the same
+// accuracy/time cells as the figures.
+
+// AblationResult is one toggled variant's outcome.
+type AblationResult struct {
+	Variant string
+	PRF     metrics.PRF
+	Edges   int
+	Runtime time.Duration
+}
+
+// AblationWorkload fixes the data every variant runs on.
+type AblationWorkload struct {
+	Truth *graph.Directed
+	Sim   *diffusion.Result
+}
+
+// NewAblationWorkload simulates a workload once so that all variants see
+// identical observations.
+func NewAblationWorkload(network func(int64) (*graph.Directed, error), mu, alpha float64, beta int, seed int64) (*AblationWorkload, error) {
+	pt := Point{Workload: Workload{Network: network, Mu: mu, Alpha: alpha, Beta: beta}}
+	g, err := pt.Workload.Network(seed)
+	if err != nil {
+		return nil, err
+	}
+	sim, err := simulateWorkload(pt.Workload, g, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &AblationWorkload{Truth: g, Sim: sim}, nil
+}
+
+func runTENDSVariant(w *AblationWorkload, variant string, opt core.Options) (AblationResult, error) {
+	start := time.Now()
+	res, err := core.Infer(w.Sim.Statuses, opt)
+	if err != nil {
+		return AblationResult{}, fmt.Errorf("%s: %w", variant, err)
+	}
+	return AblationResult{
+		Variant: variant,
+		PRF:     metrics.Score(w.Truth, res.Graph),
+		Edges:   res.Graph.NumEdges(),
+		Runtime: time.Since(start),
+	}, nil
+}
+
+// ThresholdAblation compares the threshold-selection strategies (the
+// robustified default against the paper's K-means and pure FDR).
+func ThresholdAblation(w *AblationWorkload) ([]AblationResult, error) {
+	variants := []struct {
+		name string
+		opt  core.Options
+	}{
+		{"auto (max of kmeans,fdr)", core.Options{ThresholdMethod: core.ThresholdAuto}},
+		{"kmeans (paper)", core.Options{ThresholdMethod: core.ThresholdKMeans}},
+		{"kmeans per-node", core.Options{ThresholdMethod: core.ThresholdKMeansPerNode}},
+		{"fdr only", core.Options{ThresholdMethod: core.ThresholdFDR}},
+	}
+	return runVariants(w, variants)
+}
+
+// GreedyAblation compares the adaptive greedy (Section IV-A prose) against
+// the literal static Algorithm 1 merge, and the Theorem-2 bound on/off.
+func GreedyAblation(w *AblationWorkload) ([]AblationResult, error) {
+	variants := []struct {
+		name string
+		opt  core.Options
+	}{
+		{"adaptive greedy + bound", core.Options{}},
+		{"static greedy (Alg.1 literal)", core.Options{StaticGreedy: true}},
+		{"adaptive, bound off", core.Options{DisableBound: true}},
+		{"combos up to size 3", core.Options{MaxComboSize: 3}},
+		{"singleton combos only", core.Options{MaxComboSize: 1}},
+		{"with backward prune", core.Options{BackwardPrune: true}},
+	}
+	return runVariants(w, variants)
+}
+
+// PenaltyAblation contrasts the paper's per-combination penalty with the
+// harsher BIC penalty and with no penalty at all (Theorem 1's monotone
+// likelihood then densifies the inference).
+func PenaltyAblation(w *AblationWorkload) ([]AblationResult, error) {
+	variants := []struct {
+		name string
+		opt  core.Options
+	}{
+		{"paper penalty (Eq.13)", core.Options{Penalty: core.PenaltyPaper}},
+		{"BIC penalty", core.Options{Penalty: core.PenaltyBIC}},
+		{"no penalty", core.Options{Penalty: core.PenaltyNone}},
+	}
+	return runVariants(w, variants)
+}
+
+// PruningAblation measures the cost of weakening the IMI pruning: the
+// paper's Figs. 10–11 observation that small thresholds blow up runtime.
+func PruningAblation(w *AblationWorkload) ([]AblationResult, error) {
+	variants := []struct {
+		name string
+		opt  core.Options
+	}{
+		{"threshold 1.0τ", core.Options{}},
+		{"threshold 0.5τ", core.Options{ThresholdScale: 0.5}},
+		{"threshold 0.25τ", core.Options{ThresholdScale: 0.25}},
+		{"traditional MI", core.Options{TraditionalMI: true}},
+	}
+	return runVariants(w, variants)
+}
+
+func runVariants(w *AblationWorkload, variants []struct {
+	name string
+	opt  core.Options
+}) ([]AblationResult, error) {
+	out := make([]AblationResult, 0, len(variants))
+	for _, v := range variants {
+		r, err := runTENDSVariant(w, v.name, v.opt)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// TreeModelAblation contrasts MulTree's all-trees marginalization with
+// NetInf's single-tree relaxation on identical cascades.
+func TreeModelAblation(w *AblationWorkload) ([]AblationResult, error) {
+	m := w.Truth.NumEdges()
+	var out []AblationResult
+
+	start := time.Now()
+	mg, err := multree.Infer(w.Sim, m, multree.Options{})
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, AblationResult{
+		Variant: "MulTree (all trees)",
+		PRF:     metrics.Score(w.Truth, mg),
+		Edges:   mg.NumEdges(),
+		Runtime: time.Since(start),
+	})
+
+	start = time.Now()
+	ng, err := netinf.Infer(w.Sim, m, netinf.Options{})
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, AblationResult{
+		Variant: "NetInf (best tree)",
+		PRF:     metrics.Score(w.Truth, ng),
+		Edges:   ng.NumEdges(),
+		Runtime: time.Since(start),
+	})
+	return out, nil
+}
+
+// simulateWorkload mirrors the figure runner's data generation so that
+// ablations and figures share the same protocol.
+func simulateWorkload(w Workload, g *graph.Directed, seed int64) (*diffusion.Result, error) {
+	return simulate(g, w.Mu, w.Alpha, w.Beta, seed)
+}

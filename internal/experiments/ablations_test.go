@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"testing"
+
+	"tends/internal/graph"
+)
+
+func ablationWorkload(t *testing.T) *AblationWorkload {
+	t.Helper()
+	network := func(seed int64) (*graph.Directed, error) {
+		g := graph.Chain(20)
+		g.Symmetrize()
+		return g, nil
+	}
+	w, err := NewAblationWorkload(network, 0.35, 0.1, 200, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestThresholdAblation(t *testing.T) {
+	w := ablationWorkload(t)
+	results, err := ThresholdAblation(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("variants = %d, want 4", len(results))
+	}
+	for _, r := range results {
+		if r.PRF.F <= 0 {
+			t.Fatalf("%s: F = %v on an easy instance", r.Variant, r.PRF.F)
+		}
+		if r.Runtime <= 0 {
+			t.Fatalf("%s: runtime not measured", r.Variant)
+		}
+	}
+}
+
+func TestGreedyAblation(t *testing.T) {
+	w := ablationWorkload(t)
+	results, err := GreedyAblation(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 6 {
+		t.Fatalf("variants = %d, want 6", len(results))
+	}
+	// The adaptive default should not be (much) worse than the static
+	// literal reading on an easy instance.
+	var adaptive, static float64
+	for _, r := range results {
+		switch r.Variant {
+		case "adaptive greedy + bound":
+			adaptive = r.PRF.F
+		case "static greedy (Alg.1 literal)":
+			static = r.PRF.F
+		}
+	}
+	if adaptive < static-0.2 {
+		t.Fatalf("adaptive greedy F=%.3f far below static F=%.3f", adaptive, static)
+	}
+}
+
+func TestPruningAblation(t *testing.T) {
+	w := ablationWorkload(t)
+	results, err := PruningAblation(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("variants = %d, want 4", len(results))
+	}
+}
+
+func TestTreeModelAblation(t *testing.T) {
+	w := ablationWorkload(t)
+	results, err := TreeModelAblation(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("variants = %d, want 2", len(results))
+	}
+	for _, r := range results {
+		if r.Edges == 0 {
+			t.Fatalf("%s inferred no edges", r.Variant)
+		}
+		if r.PRF.F <= 0.2 {
+			t.Fatalf("%s: F = %.3f on a chain, too low", r.Variant, r.PRF.F)
+		}
+	}
+}

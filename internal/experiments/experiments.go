@@ -1,0 +1,230 @@
+// Package experiments is the benchmark harness that regenerates every
+// figure of the paper's evaluation section (Figs. 1–11) plus the Table II
+// graph inventory. Each figure is a declarative sweep: a network source, a
+// swept parameter, fixed diffusion settings, and a set of algorithms. The
+// runner simulates the workload, executes each algorithm, and reports the
+// same series the paper plots — F-score and running time per sweep point.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"tends/internal/baselines/lift"
+	"tends/internal/baselines/multree"
+	"tends/internal/baselines/netinf"
+	"tends/internal/baselines/netrate"
+	"tends/internal/baselines/path"
+	"tends/internal/core"
+	"tends/internal/datasets"
+	"tends/internal/diffusion"
+	"tends/internal/graph"
+	"tends/internal/lfr"
+	"tends/internal/metrics"
+	"tends/internal/stats"
+)
+
+// Algorithm identifies a reconstruction algorithm under test.
+type Algorithm string
+
+// The algorithms of the paper's comparison, plus the NetInf extension.
+const (
+	AlgoTENDS   Algorithm = "TENDS"
+	AlgoNetRate Algorithm = "NetRate"
+	AlgoMulTree Algorithm = "MulTree"
+	AlgoLIFT    Algorithm = "LIFT"
+	AlgoNetInf  Algorithm = "NetInf"
+	// AlgoPATH is the path-trace baseline, fed the ground-truth parent
+	// chains the simulator knows (privileged information no real observer
+	// has; see internal/baselines/path).
+	AlgoPATH Algorithm = "PATH"
+	// AlgoTENDSMI is TENDS with traditional mutual information instead of
+	// infection MI — the ablation curve of Figs. 10–11.
+	AlgoTENDSMI Algorithm = "TENDS-MI"
+)
+
+// DefaultAlgorithms is the comparison set of Figs. 1–9.
+var DefaultAlgorithms = []Algorithm{AlgoTENDS, AlgoNetRate, AlgoMulTree, AlgoLIFT}
+
+// Workload describes one sweep point's data generation.
+type Workload struct {
+	Network func(seed int64) (*graph.Directed, error)
+	Mu      float64 // mean propagation probability
+	Alpha   float64 // initial infection ratio
+	Beta    int     // number of diffusion processes
+}
+
+// Point is one sweep point of a figure.
+type Point struct {
+	Label    string // x-axis value, e.g. "n=200" or "α=0.15"
+	Workload Workload
+	// TENDSOptions overrides TENDS options at this point (used by the
+	// Fig. 10–11 threshold sweep); nil means defaults.
+	TENDSOptions *core.Options
+}
+
+// Figure is a full experiment: an identifier, sweep points and algorithms.
+type Figure struct {
+	ID         string
+	Title      string
+	Points     []Point
+	Algorithms []Algorithm
+}
+
+// Measurement is one cell of a result table. With Config.Repeats > 1 the
+// scores are means over the repeats and FStd carries the F-score's
+// population standard deviation across them.
+type Measurement struct {
+	Figure    string
+	Point     string
+	Algorithm Algorithm
+	F         float64
+	FStd      float64
+	Precision float64
+	Recall    float64
+	Runtime   time.Duration
+	Err       error
+}
+
+// Config controls a harness run.
+type Config struct {
+	Seed    int64 // base RNG seed; every point derives its own stream
+	Repeats int   // simulation repeats averaged per point; 0 means 1
+}
+
+// Run executes a figure and returns its measurements in point-major order.
+func Run(fig Figure, cfg Config, progress io.Writer) ([]Measurement, error) {
+	if cfg.Repeats <= 0 {
+		cfg.Repeats = 1
+	}
+	var out []Measurement
+	for pi, pt := range fig.Points {
+		for _, algo := range fig.Algorithms {
+			meas := Measurement{Figure: fig.ID, Point: pt.Label, Algorithm: algo}
+			var fs []float64
+			var pSum, rSum float64
+			var tSum time.Duration
+			for rep := 0; rep < cfg.Repeats; rep++ {
+				seed := cfg.Seed + int64(pi*1000+rep)
+				prf, dur, err := runOnce(pt, algo, seed)
+				if err != nil {
+					meas.Err = err
+					continue
+				}
+				fs = append(fs, prf.F)
+				pSum += prf.Precision
+				rSum += prf.Recall
+				tSum += dur
+			}
+			if len(fs) > 0 {
+				ok := float64(len(fs))
+				meas.F = stats.Mean(fs)
+				meas.FStd = stats.StdDev(fs)
+				meas.Precision = pSum / ok
+				meas.Recall = rSum / ok
+				meas.Runtime = tSum / time.Duration(len(fs))
+				meas.Err = nil
+			}
+			out = append(out, meas)
+			if progress != nil {
+				if meas.Err != nil {
+					fmt.Fprintf(progress, "%s %-12s %-10s ERROR: %v\n", fig.ID, pt.Label, algo, meas.Err)
+				} else {
+					fmt.Fprintf(progress, "%s %-12s %-10s F=%.3f time=%v\n", fig.ID, pt.Label, algo, meas.F, meas.Runtime)
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// runOnce generates the workload for a point and times one algorithm on it.
+func runOnce(pt Point, algo Algorithm, seed int64) (metrics.PRF, time.Duration, error) {
+	g, err := pt.Workload.Network(seed)
+	if err != nil {
+		return metrics.PRF{}, 0, fmt.Errorf("network: %w", err)
+	}
+	sim, err := simulate(g, pt.Workload.Mu, pt.Workload.Alpha, pt.Workload.Beta, seed)
+	if err != nil {
+		return metrics.PRF{}, 0, fmt.Errorf("simulate: %w", err)
+	}
+	start := time.Now()
+	var prf metrics.PRF
+	switch algo {
+	case AlgoTENDS, AlgoTENDSMI:
+		opt := core.Options{}
+		if pt.TENDSOptions != nil {
+			opt = *pt.TENDSOptions
+		}
+		if algo == AlgoTENDSMI {
+			opt.TraditionalMI = true
+		}
+		res, err := core.Infer(sim.Statuses, opt)
+		if err != nil {
+			return metrics.PRF{}, 0, err
+		}
+		prf = metrics.Score(g, res.Graph)
+	case AlgoNetRate:
+		preds, err := netrate.Infer(sim, netrate.Options{})
+		if err != nil {
+			return metrics.PRF{}, 0, err
+		}
+		prf, _ = metrics.BestF(g, preds)
+	case AlgoMulTree:
+		inferred, err := multree.Infer(sim, g.NumEdges(), multree.Options{})
+		if err != nil {
+			return metrics.PRF{}, 0, err
+		}
+		prf = metrics.Score(g, inferred)
+	case AlgoNetInf:
+		inferred, err := netinf.Infer(sim, g.NumEdges(), netinf.Options{})
+		if err != nil {
+			return metrics.PRF{}, 0, err
+		}
+		prf = metrics.Score(g, inferred)
+	case AlgoLIFT:
+		inferred, err := lift.InferTopM(sim, g.NumEdges(), lift.Options{})
+		if err != nil {
+			return metrics.PRF{}, 0, err
+		}
+		prf = metrics.Score(g, inferred)
+	case AlgoPATH:
+		traces, err := path.TracesFromCascades(sim, 3)
+		if err != nil {
+			return metrics.PRF{}, 0, err
+		}
+		inferred, err := path.InferTopM(g.NumNodes(), traces, g.NumEdges())
+		if err != nil {
+			return metrics.PRF{}, 0, err
+		}
+		prf = metrics.Score(g, inferred)
+	default:
+		return metrics.PRF{}, 0, fmt.Errorf("unknown algorithm %q", algo)
+	}
+	return prf, time.Since(start), nil
+}
+
+// simulate generates the observation data of one sweep point: per-edge
+// propagation probabilities drawn from N(mu, 0.05), then beta
+// independent-cascade processes with alpha-fraction random seeds.
+func simulate(g *graph.Directed, mu, alpha float64, beta int, seed int64) (*diffusion.Result, error) {
+	rng := rand.New(rand.NewSource(seed + 7919))
+	ep := diffusion.NewEdgeProbs(g, mu, 0.05, rng)
+	return diffusion.Simulate(ep, diffusion.Config{Alpha: alpha, Beta: beta}, rng)
+}
+
+// lfrNetwork adapts an LFR benchmark index into a Workload network source.
+func lfrNetwork(index int) func(int64) (*graph.Directed, error) {
+	return func(seed int64) (*graph.Directed, error) {
+		res, err := lfr.GenerateBenchmark(index, seed)
+		if err != nil {
+			return nil, err
+		}
+		return res.Graph, nil
+	}
+}
+
+func netSciNetwork(seed int64) (*graph.Directed, error) { return datasets.NetSci(seed), nil }
+func dunfNetwork(seed int64) (*graph.Directed, error)   { return datasets.DUNF(seed), nil }

@@ -1,0 +1,236 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tends/internal/graph"
+)
+
+// tinyFigure is a fast synthetic figure for harness tests.
+func tinyFigure(algos []Algorithm) Figure {
+	network := func(seed int64) (*graph.Directed, error) {
+		g := graph.Chain(12)
+		g.Symmetrize()
+		return g, nil
+	}
+	return Figure{
+		ID:         "FigTest",
+		Title:      "harness smoke",
+		Algorithms: algos,
+		Points: []Point{
+			{Label: "p1", Workload: Workload{Network: network, Mu: 0.4, Alpha: 0.1, Beta: 60}},
+			{Label: "p2", Workload: Workload{Network: network, Mu: 0.4, Alpha: 0.1, Beta: 120}},
+		},
+	}
+}
+
+func TestRunProducesAllCells(t *testing.T) {
+	fig := tinyFigure([]Algorithm{AlgoTENDS, AlgoLIFT})
+	ms, err := Run(fig, Config{Seed: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 4 {
+		t.Fatalf("measurements = %d, want 4", len(ms))
+	}
+	for _, m := range ms {
+		if m.Err != nil {
+			t.Fatalf("%s/%s failed: %v", m.Point, m.Algorithm, m.Err)
+		}
+		if m.F < 0 || m.F > 1 {
+			t.Fatalf("F out of range: %v", m.F)
+		}
+		if m.Runtime <= 0 {
+			t.Fatalf("runtime not measured for %s/%s", m.Point, m.Algorithm)
+		}
+	}
+}
+
+func TestRunAllAlgorithms(t *testing.T) {
+	fig := tinyFigure([]Algorithm{AlgoTENDS, AlgoTENDSMI, AlgoNetRate, AlgoMulTree, AlgoNetInf, AlgoLIFT})
+	fig.Points = fig.Points[:1]
+	ms, err := Run(fig, Config{Seed: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range ms {
+		if m.Err != nil {
+			t.Fatalf("%s failed: %v", m.Algorithm, m.Err)
+		}
+	}
+	// On this easy instance the structured algorithms must beat zero.
+	for _, m := range ms {
+		if m.Algorithm != AlgoLIFT && m.F == 0 {
+			t.Fatalf("%s scored 0 on a trivial instance", m.Algorithm)
+		}
+	}
+}
+
+func TestRunUnknownAlgorithm(t *testing.T) {
+	fig := tinyFigure([]Algorithm{"bogus"})
+	ms, err := Run(fig, Config{Seed: 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms[0].Err == nil {
+		t.Fatal("unknown algorithm should report an error measurement")
+	}
+}
+
+func TestRunRepeatsAveraged(t *testing.T) {
+	fig := tinyFigure([]Algorithm{AlgoTENDS})
+	fig.Points = fig.Points[:1]
+	ms, err := Run(fig, Config{Seed: 4, Repeats: 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 1 || ms[0].Err != nil {
+		t.Fatalf("unexpected: %+v", ms)
+	}
+}
+
+func TestFiguresComplete(t *testing.T) {
+	figs := Figures()
+	if len(figs) != 11 {
+		t.Fatalf("figures = %d, want 11", len(figs))
+	}
+	for id := 1; id <= 11; id++ {
+		fig, ok := figs[id]
+		if !ok {
+			t.Fatalf("figure %d missing", id)
+		}
+		if len(fig.Points) < 5 {
+			t.Fatalf("figure %d has only %d points", id, len(fig.Points))
+		}
+		if len(fig.Algorithms) == 0 {
+			t.Fatalf("figure %d has no algorithms", id)
+		}
+	}
+	// Figs 1–9 compare the paper's four algorithms.
+	for id := 1; id <= 9; id++ {
+		if got := len(figs[id].Algorithms); got != 4 {
+			t.Fatalf("figure %d algorithms = %d, want 4", id, got)
+		}
+	}
+	// Figs 10–11 are TENDS-only sweeps with an MI ablation point.
+	for _, id := range []int{10, 11} {
+		fig := figs[id]
+		if len(fig.Algorithms) != 1 || fig.Algorithms[0] != AlgoTENDS {
+			t.Fatalf("figure %d should be TENDS-only", id)
+		}
+		last := fig.Points[len(fig.Points)-1]
+		if last.TENDSOptions == nil || !last.TENDSOptions.TraditionalMI {
+			t.Fatalf("figure %d missing the traditional-MI ablation point", id)
+		}
+	}
+	if ids := FigureIDs(); len(ids) != 11 || ids[0] != 1 || ids[10] != 11 {
+		t.Fatalf("FigureIDs = %v", ids)
+	}
+}
+
+func TestFigureWorkloadsGenerateNetworks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for id, fig := range Figures() {
+		g, err := fig.Points[0].Workload.Network(99)
+		if err != nil {
+			t.Fatalf("figure %d network: %v", id, err)
+		}
+		if g.NumNodes() == 0 || g.NumEdges() == 0 {
+			t.Fatalf("figure %d produced an empty network", id)
+		}
+	}
+}
+
+func TestWriteTable(t *testing.T) {
+	fig := tinyFigure([]Algorithm{AlgoTENDS, AlgoLIFT})
+	ms, err := Run(fig, Config{Seed: 5}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTable(&buf, fig, ms); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"FigTest", "(a) F-score", "(b) running time", "p1", "p2", "TENDS", "LIFT"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	fig := tinyFigure([]Algorithm{AlgoTENDS})
+	ms, err := Run(fig, Config{Seed: 6}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, ms); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 { // header + 2 points
+		t.Fatalf("csv lines = %d, want 3:\n%s", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[0], "figure,point,algorithm") {
+		t.Fatalf("csv header wrong: %s", lines[0])
+	}
+}
+
+func TestRunProgressOutput(t *testing.T) {
+	fig := tinyFigure([]Algorithm{AlgoTENDS})
+	var buf bytes.Buffer
+	if _, err := Run(fig, Config{Seed: 7}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "FigTest") {
+		t.Fatalf("progress output missing figure id: %q", buf.String())
+	}
+}
+
+func TestWriteTableWithErrors(t *testing.T) {
+	fig := tinyFigure([]Algorithm{AlgoTENDS, "bogus"})
+	ms, err := Run(fig, Config{Seed: 8}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTable(&buf, fig, ms); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "ERR") {
+		t.Fatalf("error cells not rendered:\n%s", buf.String())
+	}
+	// The CSV must carry the error text.
+	buf.Reset()
+	if err := WriteCSV(&buf, ms); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "unknown algorithm") {
+		t.Fatalf("CSV missing error column:\n%s", buf.String())
+	}
+}
+
+func TestRunRepeatsReportSpread(t *testing.T) {
+	fig := tinyFigure([]Algorithm{AlgoTENDS})
+	fig.Points = fig.Points[:1]
+	ms, err := Run(fig, Config{Seed: 9, Repeats: 4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms[0].FStd < 0 {
+		t.Fatalf("FStd = %v", ms[0].FStd)
+	}
+	single, err := Run(fig, Config{Seed: 9, Repeats: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single[0].FStd != 0 {
+		t.Fatalf("single repeat FStd = %v, want 0", single[0].FStd)
+	}
+}

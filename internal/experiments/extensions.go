@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"tends/internal/baselines/multree"
+	"tends/internal/baselines/netrate"
+	"tends/internal/core"
+	"tends/internal/diffusion"
+	"tends/internal/graph"
+	"tends/internal/metrics"
+)
+
+// Extension studies beyond the paper's evaluation: robustness of TENDS to
+// imperfect observations and to diffusion-model mismatch. The paper
+// motivates TENDS with the unreliability of monitoring (incubation periods,
+// missed detections); these experiments quantify how far that robustness
+// extends.
+
+// ExtensionPoint is one cell of an extension study.
+type ExtensionPoint struct {
+	Label   string
+	PRF     metrics.PRF
+	Edges   int
+	Runtime time.Duration
+}
+
+// NoiseRobustness sweeps the status-flip probability: every observed cell
+// is independently flipped (false positive or false negative) before
+// inference. Network and diffusion follow the paper's defaults.
+func NoiseRobustness(network func(int64) (*graph.Directed, error), flips []float64, seed int64) ([]ExtensionPoint, error) {
+	g, err := network(seed)
+	if err != nil {
+		return nil, err
+	}
+	sim, err := simulate(g, DefaultMu, DefaultAlpha, DefaultBeta, seed)
+	if err != nil {
+		return nil, err
+	}
+	var out []ExtensionPoint
+	for i, flip := range flips {
+		noisy, err := diffusion.Corrupt(sim.Statuses, flip, rand.New(rand.NewSource(seed+int64(i)+1000)))
+		if err != nil {
+			return nil, err
+		}
+		pt, err := inferPoint(fmt.Sprintf("flip=%.2f", flip), g, noisy)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// MissingRobustness sweeps the erase probability: each infected cell is
+// dropped (recorded uninfected) with the given probability, the
+// asymptomatic / unsurveyed case.
+func MissingRobustness(network func(int64) (*graph.Directed, error), drops []float64, seed int64) ([]ExtensionPoint, error) {
+	g, err := network(seed)
+	if err != nil {
+		return nil, err
+	}
+	sim, err := simulate(g, DefaultMu, DefaultAlpha, DefaultBeta, seed)
+	if err != nil {
+		return nil, err
+	}
+	var out []ExtensionPoint
+	for i, drop := range drops {
+		masked, err := diffusion.Mask(sim.Statuses, drop, rand.New(rand.NewSource(seed+int64(i)+2000)))
+		if err != nil {
+			return nil, err
+		}
+		pt, err := inferPoint(fmt.Sprintf("drop=%.2f", drop), g, masked)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// ModelMismatch compares TENDS on observations from the independent-cascade
+// model it was evaluated on against the Linear Threshold model it never
+// saw: the derivation only assumes infections are caused by parents, so
+// accuracy should survive the swap.
+func ModelMismatch(network func(int64) (*graph.Directed, error), seed int64) ([]ExtensionPoint, error) {
+	g, err := network(seed)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed + 7919))
+	ep := diffusion.NewEdgeProbs(g, DefaultMu, 0.05, rng)
+	ic, err := diffusion.Simulate(ep, diffusion.Config{Alpha: DefaultAlpha, Beta: DefaultBeta}, rng)
+	if err != nil {
+		return nil, err
+	}
+	lt, err := diffusion.SimulateLT(ep, diffusion.Config{Alpha: DefaultAlpha, Beta: DefaultBeta}, rng)
+	if err != nil {
+		return nil, err
+	}
+	icPt, err := inferPoint("independent-cascade", g, ic.Statuses)
+	if err != nil {
+		return nil, err
+	}
+	ltPt, err := inferPoint("linear-threshold", g, lt.Statuses)
+	if err != nil {
+		return nil, err
+	}
+	return []ExtensionPoint{icPt, ltPt}, nil
+}
+
+// TimestampNoise is the experiment behind the paper's core motivation:
+// observed infection timestamps rarely reflect true infection times
+// (incubation periods, delayed detection). It perturbs every cascade
+// timestamp with Gaussian noise of increasing magnitude and measures how
+// the timestamp-based methods (MulTree, NetRate) degrade while TENDS —
+// which never reads timestamps — is untouched by construction.
+//
+// The returned slice holds, for each noise level, one point per algorithm
+// labelled "<algo> sigma=<s>".
+func TimestampNoise(network func(int64) (*graph.Directed, error), sigmas []float64, seed int64) ([]ExtensionPoint, error) {
+	g, err := network(seed)
+	if err != nil {
+		return nil, err
+	}
+	sim, err := simulate(g, DefaultMu, DefaultAlpha, DefaultBeta, seed)
+	if err != nil {
+		return nil, err
+	}
+	var out []ExtensionPoint
+	for i, sigma := range sigmas {
+		noisy, err := diffusion.PerturbTimestamps(sim, sigma, rand.New(rand.NewSource(seed+int64(i)+3000)))
+		if err != nil {
+			return nil, err
+		}
+		for _, algo := range []Algorithm{AlgoTENDS, AlgoMulTree, AlgoNetRate} {
+			label := fmt.Sprintf("%s sigma=%.1f", algo, sigma)
+			start := time.Now()
+			prf, err := scoreAlgorithmOn(algo, g, noisy)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", label, err)
+			}
+			out = append(out, ExtensionPoint{
+				Label:   label,
+				PRF:     prf,
+				Runtime: time.Since(start),
+			})
+		}
+	}
+	return out, nil
+}
+
+// scoreAlgorithmOn runs one algorithm against prepared observations (no
+// re-simulation), mirroring runOnce's dispatch.
+func scoreAlgorithmOn(algo Algorithm, g *graph.Directed, sim *diffusion.Result) (metrics.PRF, error) {
+	switch algo {
+	case AlgoTENDS:
+		res, err := core.Infer(sim.Statuses, core.Options{})
+		if err != nil {
+			return metrics.PRF{}, err
+		}
+		return metrics.Score(g, res.Graph), nil
+	case AlgoMulTree:
+		inferred, err := multree.Infer(sim, g.NumEdges(), multree.Options{})
+		if err != nil {
+			return metrics.PRF{}, err
+		}
+		return metrics.Score(g, inferred), nil
+	case AlgoNetRate:
+		preds, err := netrate.Infer(sim, netrate.Options{})
+		if err != nil {
+			return metrics.PRF{}, err
+		}
+		prf, _ := metrics.BestF(g, preds)
+		return prf, nil
+	default:
+		return metrics.PRF{}, fmt.Errorf("unsupported algorithm %q", algo)
+	}
+}
+
+func inferPoint(label string, truth *graph.Directed, sm *diffusion.StatusMatrix) (ExtensionPoint, error) {
+	start := time.Now()
+	res, err := core.Infer(sm, core.Options{})
+	if err != nil {
+		return ExtensionPoint{}, fmt.Errorf("%s: %w", label, err)
+	}
+	return ExtensionPoint{
+		Label:   label,
+		PRF:     metrics.Score(truth, res.Graph),
+		Edges:   res.Graph.NumEdges(),
+		Runtime: time.Since(start),
+	}, nil
+}

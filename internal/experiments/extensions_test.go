@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"testing"
+
+	"tends/internal/graph"
+)
+
+func chainNetwork(seed int64) (*graph.Directed, error) {
+	g := graph.Chain(30)
+	g.Symmetrize()
+	return g, nil
+}
+
+func TestNoiseRobustnessDegradesGracefully(t *testing.T) {
+	points, err := NoiseRobustness(chainNetwork, []float64{0, 0.05, 0.2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+	clean, light, heavy := points[0].PRF.F, points[1].PRF.F, points[2].PRF.F
+	if clean < 0.5 {
+		t.Fatalf("clean F = %.3f too low for a chain", clean)
+	}
+	if light < clean-0.35 {
+		t.Fatalf("5%% noise collapsed F: %.3f -> %.3f", clean, light)
+	}
+	if heavy > clean+0.05 {
+		// Heavy noise must not *help*; it may degrade arbitrarily.
+		t.Fatalf("20%% noise improved F: %.3f -> %.3f", clean, heavy)
+	}
+}
+
+func TestMissingRobustness(t *testing.T) {
+	points, err := MissingRobustness(chainNetwork, []float64{0, 0.1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	if points[0].PRF.F < 0.5 {
+		t.Fatalf("clean F = %.3f", points[0].PRF.F)
+	}
+	if points[1].PRF.F <= 0 {
+		t.Fatal("10% missing data should not zero out inference")
+	}
+}
+
+func TestModelMismatch(t *testing.T) {
+	points, err := ModelMismatch(chainNetwork, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	ic, lt := points[0].PRF.F, points[1].PRF.F
+	if ic < 0.5 {
+		t.Fatalf("IC F = %.3f too low", ic)
+	}
+	if lt < 0.3 {
+		t.Fatalf("LT F = %.3f — TENDS should survive the model swap", lt)
+	}
+}
+
+func TestTimestampNoise(t *testing.T) {
+	points, err := TimestampNoise(chainNetwork, []float64{0, 2}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 6 { // 2 sigmas × 3 algorithms
+		t.Fatalf("points = %d, want 6", len(points))
+	}
+	byLabel := map[string]float64{}
+	for _, p := range points {
+		byLabel[p.Label] = p.PRF.F
+	}
+	// TENDS never reads timestamps: identical at every sigma.
+	if byLabel["TENDS sigma=0.0"] != byLabel["TENDS sigma=2.0"] {
+		t.Fatalf("TENDS changed under timestamp noise: %v vs %v",
+			byLabel["TENDS sigma=0.0"], byLabel["TENDS sigma=2.0"])
+	}
+	// The timestamp methods must degrade under heavy noise.
+	if byLabel["MulTree sigma=2.0"] >= byLabel["MulTree sigma=0.0"] {
+		t.Fatalf("MulTree unaffected by timestamp noise: %v -> %v",
+			byLabel["MulTree sigma=0.0"], byLabel["MulTree sigma=2.0"])
+	}
+}
+
+func TestExtensionErrors(t *testing.T) {
+	bad := func(int64) (*graph.Directed, error) { return nil, errFailed }
+	if _, err := NoiseRobustness(bad, []float64{0}, 1); err == nil {
+		t.Fatal("network error should propagate")
+	}
+	if _, err := MissingRobustness(bad, []float64{0}, 1); err == nil {
+		t.Fatal("network error should propagate")
+	}
+	if _, err := ModelMismatch(bad, 1); err == nil {
+		t.Fatal("network error should propagate")
+	}
+	if _, err := NoiseRobustness(chainNetwork, []float64{2}, 1); err == nil {
+		t.Fatal("invalid flip should propagate")
+	}
+}
+
+var errFailed = errTest{}
+
+type errTest struct{}
+
+func (errTest) Error() string { return "test network failure" }

@@ -1,0 +1,194 @@
+package experiments
+
+import (
+	"fmt"
+
+	"tends/internal/core"
+	"tends/internal/graph"
+)
+
+// Defaults shared by the paper's experiments (Section V): β=150 diffusion
+// processes, α=0.15 initial infection ratio, μ=0.3 mean propagation
+// probability, unless a figure sweeps the parameter.
+const (
+	DefaultBeta  = 150
+	DefaultAlpha = 0.15
+	DefaultMu    = 0.3
+)
+
+// Figures returns the full set of regenerable figures keyed by number
+// (1–11). Scale (0 < scale ≤ 1) shrinks the real-network workloads for
+// quick runs: β is scaled; network sizes are fixed by the paper.
+func Figures() map[int]Figure {
+	figs := map[int]Figure{
+		1:  Fig1NetworkSize(),
+		2:  Fig2AvgDegree(),
+		3:  Fig3Dispersion(),
+		4:  Fig4AlphaNetSci(),
+		5:  Fig5AlphaDUNF(),
+		6:  Fig6MuNetSci(),
+		7:  Fig7MuDUNF(),
+		8:  Fig8BetaNetSci(),
+		9:  Fig9BetaDUNF(),
+		10: Fig10PruningNetSci(),
+		11: Fig11PruningDUNF(),
+	}
+	return figs
+}
+
+// Fig1NetworkSize — effect of diffusion network size, LFR1–5 (n=100..300).
+func Fig1NetworkSize() Figure {
+	fig := Figure{ID: "Fig1", Title: "Effect of Diffusion Network Size (LFR1-5)", Algorithms: DefaultAlgorithms}
+	sizes := []int{100, 150, 200, 250, 300}
+	for i, n := range sizes {
+		fig.Points = append(fig.Points, Point{
+			Label: fmt.Sprintf("n=%d", n),
+			Workload: Workload{
+				Network: lfrNetwork(i + 1),
+				Mu:      DefaultMu, Alpha: DefaultAlpha, Beta: DefaultBeta,
+			},
+		})
+	}
+	return fig
+}
+
+// Fig2AvgDegree — effect of average node degree, LFR6–10 (κ=2..6).
+func Fig2AvgDegree() Figure {
+	fig := Figure{ID: "Fig2", Title: "Effect of Average Node Degree (LFR6-10)", Algorithms: DefaultAlgorithms}
+	for i := 0; i < 5; i++ {
+		fig.Points = append(fig.Points, Point{
+			Label: fmt.Sprintf("k=%d", i+2),
+			Workload: Workload{
+				Network: lfrNetwork(i + 6),
+				Mu:      DefaultMu, Alpha: DefaultAlpha, Beta: DefaultBeta,
+			},
+		})
+	}
+	return fig
+}
+
+// Fig3Dispersion — effect of node degree dispersion, LFR11–15 (τ=1..3).
+func Fig3Dispersion() Figure {
+	fig := Figure{ID: "Fig3", Title: "Effect of Node Degree Dispersion (LFR11-15)", Algorithms: DefaultAlgorithms}
+	taus := []string{"1", "1.5", "2", "2.5", "3"}
+	for i := 0; i < 5; i++ {
+		fig.Points = append(fig.Points, Point{
+			Label: "tau=" + taus[i],
+			Workload: Workload{
+				Network: lfrNetwork(i + 11),
+				Mu:      DefaultMu, Alpha: DefaultAlpha, Beta: DefaultBeta,
+			},
+		})
+	}
+	return fig
+}
+
+func alphaSweep(id, title string, network func(int64) (*graph.Directed, error)) Figure {
+	fig := Figure{ID: id, Title: title, Algorithms: DefaultAlgorithms}
+	for _, alpha := range []float64{0.05, 0.10, 0.15, 0.20, 0.25} {
+		fig.Points = append(fig.Points, Point{
+			Label: fmt.Sprintf("a=%.2f", alpha),
+			Workload: Workload{
+				Network: network,
+				Mu:      DefaultMu, Alpha: alpha, Beta: DefaultBeta,
+			},
+		})
+	}
+	return fig
+}
+
+// Fig4AlphaNetSci — effect of initial infection ratio on NetSci.
+func Fig4AlphaNetSci() Figure {
+	return alphaSweep("Fig4", "Effect of Initial Infection Ratio on NetSci", netSciNetwork)
+}
+
+// Fig5AlphaDUNF — effect of initial infection ratio on DUNF.
+func Fig5AlphaDUNF() Figure {
+	return alphaSweep("Fig5", "Effect of Initial Infection Ratio on DUNF", dunfNetwork)
+}
+
+func muSweep(id, title string, network func(int64) (*graph.Directed, error)) Figure {
+	fig := Figure{ID: id, Title: title, Algorithms: DefaultAlgorithms}
+	for _, mu := range []float64{0.20, 0.25, 0.30, 0.35, 0.40} {
+		fig.Points = append(fig.Points, Point{
+			Label: fmt.Sprintf("mu=%.2f", mu),
+			Workload: Workload{
+				Network: network,
+				Mu:      mu, Alpha: DefaultAlpha, Beta: DefaultBeta,
+			},
+		})
+	}
+	return fig
+}
+
+// Fig6MuNetSci — effect of propagation probability on NetSci.
+func Fig6MuNetSci() Figure {
+	return muSweep("Fig6", "Effect of Propagation Probability on NetSci", netSciNetwork)
+}
+
+// Fig7MuDUNF — effect of propagation probability on DUNF.
+func Fig7MuDUNF() Figure {
+	return muSweep("Fig7", "Effect of Propagation Probability on DUNF", dunfNetwork)
+}
+
+func betaSweep(id, title string, network func(int64) (*graph.Directed, error)) Figure {
+	fig := Figure{ID: id, Title: title, Algorithms: DefaultAlgorithms}
+	for _, beta := range []int{50, 100, 150, 200, 250} {
+		fig.Points = append(fig.Points, Point{
+			Label: fmt.Sprintf("b=%d", beta),
+			Workload: Workload{
+				Network: network,
+				Mu:      DefaultMu, Alpha: DefaultAlpha, Beta: beta,
+			},
+		})
+	}
+	return fig
+}
+
+// Fig8BetaNetSci — effect of the number of diffusion processes on NetSci.
+func Fig8BetaNetSci() Figure {
+	return betaSweep("Fig8", "Effect of Number of Diffusion Processes on NetSci", netSciNetwork)
+}
+
+// Fig9BetaDUNF — effect of the number of diffusion processes on DUNF.
+func Fig9BetaDUNF() Figure {
+	return betaSweep("Fig9", "Effect of Number of Diffusion Processes on DUNF", dunfNetwork)
+}
+
+func pruningSweep(id, title string, network func(int64) (*graph.Directed, error)) Figure {
+	fig := Figure{ID: id, Title: title, Algorithms: []Algorithm{AlgoTENDS}}
+	// Threshold sweep 0.4τ..2τ around the auto-selected τ, exactly the
+	// x-axis of Figs. 10–11.
+	for _, scale := range []float64{0.4, 0.6, 0.8, 1.0, 1.2, 1.6, 2.0} {
+		opt := &core.Options{ThresholdScale: scale}
+		fig.Points = append(fig.Points, Point{
+			Label: fmt.Sprintf("%.1ftau", scale),
+			Workload: Workload{
+				Network: network,
+				Mu:      DefaultMu, Alpha: DefaultAlpha, Beta: DefaultBeta,
+			},
+			TENDSOptions: opt,
+		})
+	}
+	// The traditional-MI ablation point (plotted as a separate marker in
+	// the paper's figures).
+	fig.Points = append(fig.Points, Point{
+		Label: "MI(1.0)",
+		Workload: Workload{
+			Network: network,
+			Mu:      DefaultMu, Alpha: DefaultAlpha, Beta: DefaultBeta,
+		},
+		TENDSOptions: &core.Options{TraditionalMI: true},
+	})
+	return fig
+}
+
+// Fig10PruningNetSci — effect of the infection MI-based pruning on NetSci.
+func Fig10PruningNetSci() Figure {
+	return pruningSweep("Fig10", "Effect of Infection MI-based Pruning on NetSci", netSciNetwork)
+}
+
+// Fig11PruningDUNF — effect of the infection MI-based pruning on DUNF.
+func Fig11PruningDUNF() Figure {
+	return pruningSweep("Fig11", "Effect of Infection MI-based Pruning on DUNF", dunfNetwork)
+}

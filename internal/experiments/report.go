@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// WriteTable renders measurements as the two panels the paper plots per
+// figure: an F-score series and a running-time series, one row per sweep
+// point and one column per algorithm.
+func WriteTable(w io.Writer, fig Figure, ms []Measurement) error {
+	algos := fig.Algorithms
+	var labels []string
+	seen := map[string]bool{}
+	for _, pt := range fig.Points {
+		if !seen[pt.Label] {
+			labels = append(labels, pt.Label)
+			seen[pt.Label] = true
+		}
+	}
+	cell := map[string]map[Algorithm]Measurement{}
+	for _, m := range ms {
+		if cell[m.Point] == nil {
+			cell[m.Point] = map[Algorithm]Measurement{}
+		}
+		cell[m.Point][m.Algorithm] = m
+	}
+
+	if _, err := fmt.Fprintf(w, "%s — %s\n\n", fig.ID, fig.Title); err != nil {
+		return err
+	}
+	writePanel := func(title string, format func(Measurement) string) error {
+		if _, err := fmt.Fprintf(w, "%s\n", title); err != nil {
+			return err
+		}
+		header := fmt.Sprintf("%-12s", "")
+		for _, a := range algos {
+			header += fmt.Sprintf("%12s", a)
+		}
+		if _, err := fmt.Fprintln(w, header); err != nil {
+			return err
+		}
+		for _, label := range labels {
+			row := fmt.Sprintf("%-12s", label)
+			for _, a := range algos {
+				m, ok := cell[label][a]
+				switch {
+				case !ok:
+					row += fmt.Sprintf("%12s", "-")
+				case m.Err != nil:
+					row += fmt.Sprintf("%12s", "ERR")
+				default:
+					row += fmt.Sprintf("%12s", format(m))
+				}
+			}
+			if _, err := fmt.Fprintln(w, row); err != nil {
+				return err
+			}
+		}
+		_, err := fmt.Fprintln(w)
+		return err
+	}
+	if err := writePanel("(a) F-score", func(m Measurement) string {
+		return fmt.Sprintf("%.3f", m.F)
+	}); err != nil {
+		return err
+	}
+	return writePanel("(b) running time", func(m Measurement) string {
+		return formatDuration(m.Runtime)
+	})
+}
+
+func formatDuration(d time.Duration) string {
+	switch {
+	case d >= time.Minute:
+		return fmt.Sprintf("%.1fm", d.Minutes())
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	default:
+		return fmt.Sprintf("%dms", d.Milliseconds())
+	}
+}
+
+// WriteCSV emits measurements as CSV rows for downstream plotting.
+func WriteCSV(w io.Writer, ms []Measurement) error {
+	if _, err := fmt.Fprintln(w, "figure,point,algorithm,fscore,fscore_std,precision,recall,runtime_ms,error"); err != nil {
+		return err
+	}
+	for _, m := range ms {
+		errStr := ""
+		if m.Err != nil {
+			errStr = strings.ReplaceAll(m.Err.Error(), ",", ";")
+		}
+		if _, err := fmt.Fprintf(w, "%s,%s,%s,%.4f,%.4f,%.4f,%.4f,%.2f,%s\n",
+			m.Figure, m.Point, m.Algorithm, m.F, m.FStd, m.Precision, m.Recall,
+			float64(m.Runtime.Microseconds())/1000, errStr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FigureIDs returns the available figure numbers in ascending order.
+func FigureIDs() []int {
+	figs := Figures()
+	ids := make([]int, 0, len(figs))
+	for id := range figs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}

@@ -1,0 +1,29 @@
+package experiments
+
+// ScaleBeta returns a copy of the figure with every sweep point's number of
+// diffusion processes multiplied by factor (floored at minBeta). The go
+// test benchmarks use it to run each figure's full pipeline — workload
+// generation, simulation, all algorithms — at a fraction of the paper's
+// observation count, keeping `go test -bench=.` tractable while preserving
+// the workload shapes; cmd/benchfig runs the figures at full fidelity.
+func ScaleBeta(fig Figure, factor float64, minBeta int) Figure {
+	scaled := fig
+	scaled.Points = make([]Point, len(fig.Points))
+	for i, pt := range fig.Points {
+		beta := int(float64(pt.Workload.Beta) * factor)
+		if beta < minBeta {
+			beta = minBeta
+		}
+		pt.Workload.Beta = beta
+		scaled.Points[i] = pt
+	}
+	return scaled
+}
+
+// SelectAlgorithms returns a copy of the figure restricted to the given
+// algorithms, preserving point definitions.
+func SelectAlgorithms(fig Figure, algos ...Algorithm) Figure {
+	scaled := fig
+	scaled.Algorithms = algos
+	return scaled
+}

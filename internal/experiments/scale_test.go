@@ -1,0 +1,45 @@
+package experiments
+
+import "testing"
+
+func TestScaleBeta(t *testing.T) {
+	fig := Fig8BetaNetSci() // betas 50..250
+	scaled := ScaleBeta(fig, 0.5, 30)
+	if len(scaled.Points) != len(fig.Points) {
+		t.Fatalf("points = %d", len(scaled.Points))
+	}
+	wantBetas := []int{30, 50, 75, 100, 125}
+	for i, pt := range scaled.Points {
+		if pt.Workload.Beta != wantBetas[i] {
+			t.Fatalf("point %d beta = %d, want %d", i, pt.Workload.Beta, wantBetas[i])
+		}
+	}
+	// The original figure must be untouched.
+	if fig.Points[0].Workload.Beta != 50 {
+		t.Fatal("ScaleBeta mutated the source figure")
+	}
+}
+
+func TestScaleBetaFloor(t *testing.T) {
+	fig := Fig1NetworkSize()
+	scaled := ScaleBeta(fig, 0.01, 40)
+	for _, pt := range scaled.Points {
+		if pt.Workload.Beta != 40 {
+			t.Fatalf("floor not applied: beta = %d", pt.Workload.Beta)
+		}
+	}
+}
+
+func TestSelectAlgorithms(t *testing.T) {
+	fig := Fig1NetworkSize()
+	only := SelectAlgorithms(fig, AlgoTENDS)
+	if len(only.Algorithms) != 1 || only.Algorithms[0] != AlgoTENDS {
+		t.Fatalf("algorithms = %v", only.Algorithms)
+	}
+	if len(fig.Algorithms) != 4 {
+		t.Fatal("SelectAlgorithms mutated the source figure")
+	}
+	if len(only.Points) != len(fig.Points) {
+		t.Fatal("points changed")
+	}
+}

@@ -1,0 +1,101 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWeaklyConnectedComponents(t *testing.T) {
+	g := New(7)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 1) // {0,1,2} weakly connected via reversed edge
+	g.AddEdge(3, 4) // {3,4}
+	// 5, 6 singletons
+	comps := g.WeaklyConnectedComponents()
+	if len(comps) != 4 {
+		t.Fatalf("components = %d, want 4: %v", len(comps), comps)
+	}
+	if len(comps[0]) != 3 || comps[0][0] != 0 || comps[0][2] != 2 {
+		t.Fatalf("largest component = %v, want [0 1 2]", comps[0])
+	}
+	if len(comps[1]) != 2 {
+		t.Fatalf("second component = %v", comps[1])
+	}
+	// Singletons sorted by node id.
+	if comps[2][0] != 5 || comps[3][0] != 6 {
+		t.Fatalf("singletons = %v %v", comps[2], comps[3])
+	}
+}
+
+func TestWeaklyConnectedComponentsCoverAllNodes(t *testing.T) {
+	g := Cycle(9)
+	comps := g.WeaklyConnectedComponents()
+	if len(comps) != 1 || len(comps[0]) != 9 {
+		t.Fatalf("cycle components = %v", comps)
+	}
+	seen := map[int]bool{}
+	for _, c := range comps {
+		for _, v := range c {
+			if seen[v] {
+				t.Fatalf("node %d in two components", v)
+			}
+			seen[v] = true
+		}
+	}
+	if len(seen) != 9 {
+		t.Fatalf("covered %d nodes", len(seen))
+	}
+}
+
+func TestReciprocity(t *testing.T) {
+	g := New(4)
+	if g.Reciprocity() != 0 {
+		t.Fatal("empty graph reciprocity should be 0")
+	}
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0)
+	g.AddEdge(2, 3)
+	if r := g.Reciprocity(); math.Abs(r-2.0/3) > 1e-12 {
+		t.Fatalf("reciprocity = %v, want 2/3", r)
+	}
+	sym := Chain(5)
+	sym.Symmetrize()
+	if r := sym.Reciprocity(); r != 1 {
+		t.Fatalf("symmetric graph reciprocity = %v, want 1", r)
+	}
+}
+
+func TestClusteringCoefficient(t *testing.T) {
+	// A triangle: clustering 1.
+	tri := New(3)
+	tri.AddEdge(0, 1)
+	tri.AddEdge(1, 2)
+	tri.AddEdge(2, 0)
+	if c := tri.ClusteringCoefficient(); math.Abs(c-1) > 1e-12 {
+		t.Fatalf("triangle clustering = %v, want 1", c)
+	}
+	// A star: no triangles, clustering 0.
+	star := Star(6)
+	if c := star.ClusteringCoefficient(); c != 0 {
+		t.Fatalf("star clustering = %v, want 0", c)
+	}
+	// Empty / tiny graphs: no triples.
+	if c := New(2).ClusteringCoefficient(); c != 0 {
+		t.Fatalf("empty clustering = %v", c)
+	}
+	// A path 0-1-2 with the closing edge missing: 0 of 2 centered triples
+	// closed, plus symmetrized direction handling.
+	path := Chain(3)
+	if c := path.ClusteringCoefficient(); c != 0 {
+		t.Fatalf("path clustering = %v, want 0", c)
+	}
+}
+
+func TestClusteringRange(t *testing.T) {
+	g := BalancedTree(31, 2)
+	g.AddEdge(1, 2) // one triangle at the root
+	c := g.ClusteringCoefficient()
+	if c <= 0 || c >= 1 {
+		t.Fatalf("clustering = %v, want within (0,1)", c)
+	}
+}

@@ -1,0 +1,110 @@
+package graph
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Builders for simple deterministic and random topologies. They are used by
+// tests (recovery on graphs whose structure is known exactly) and by the
+// examples. All random builders take an explicit *rand.Rand so that callers
+// control reproducibility.
+
+// Chain returns the path 0 -> 1 -> ... -> n-1.
+func Chain(n int) *Directed {
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+// Star returns a graph where node 0 points at every other node.
+func Star(n int) *Directed {
+	g := New(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(0, i)
+	}
+	return g
+}
+
+// BalancedTree returns a rooted tree with the given branching factor, edges
+// directed from parent to child, containing exactly n nodes.
+func BalancedTree(n, branching int) *Directed {
+	if branching < 1 {
+		panic("graph: branching must be >= 1")
+	}
+	g := New(n)
+	for child := 1; child < n; child++ {
+		parent := (child - 1) / branching
+		g.AddEdge(parent, child)
+	}
+	return g
+}
+
+// Cycle returns the directed cycle 0 -> 1 -> ... -> n-1 -> 0.
+func Cycle(n int) *Directed {
+	g := Chain(n)
+	if n > 1 {
+		g.AddEdge(n-1, 0)
+	}
+	return g
+}
+
+// GNM returns a uniform random directed graph with n nodes and m distinct
+// edges (no self-loops). It panics if m exceeds n*(n-1).
+func GNM(n, m int, rng *rand.Rand) *Directed {
+	if m > n*(n-1) {
+		panic("graph: too many edges requested")
+	}
+	g := New(n)
+	for g.NumEdges() < m {
+		u := rng.Intn(n)
+		v := rng.Intn(n)
+		g.AddEdge(u, v)
+	}
+	return g
+}
+
+// PreferentialAttachment grows a directed graph by attaching each new node
+// to `attach` existing nodes chosen with probability proportional to their
+// current total degree plus one, then directing each new edge randomly.
+// This yields the heavy-tailed degree distributions characteristic of
+// collaboration and follower networks.
+func PreferentialAttachment(n, attach int, rng *rand.Rand) *Directed {
+	g := New(n)
+	if n == 0 {
+		return g
+	}
+	// degreeBag holds one entry per degree unit plus one per node, so
+	// drawing uniformly from it implements "degree + 1" preferential
+	// attachment.
+	degreeBag := make([]int, 0, 2*n*attach)
+	degreeBag = append(degreeBag, 0)
+	for v := 1; v < n; v++ {
+		targets := make(map[int]struct{}, attach)
+		k := attach
+		if k > v {
+			k = v
+		}
+		for len(targets) < k {
+			targets[degreeBag[rng.Intn(len(degreeBag))]] = struct{}{}
+		}
+		ordered := make([]int, 0, len(targets))
+		for t := range targets {
+			ordered = append(ordered, t)
+		}
+		sort.Ints(ordered) // map order is random; keep the build deterministic
+		for _, t := range ordered {
+			if rng.Intn(2) == 0 {
+				g.AddEdge(v, t)
+			} else {
+				g.AddEdge(t, v)
+			}
+			degreeBag = append(degreeBag, t)
+			degreeBag = append(degreeBag, v)
+		}
+		degreeBag = append(degreeBag, v)
+	}
+	return g
+}

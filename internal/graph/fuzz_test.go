@@ -1,0 +1,36 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead exercises the graph parser with arbitrary input: it must never
+// panic, and anything it accepts must survive a write/read round trip.
+func FuzzRead(f *testing.F) {
+	f.Add("nodes 3\n0 1\n1 2\n")
+	f.Add("nodes 0\n")
+	f.Add("# comment\nnodes 2\n\n0 1\n")
+	f.Add("nodes -1\n")
+	f.Add("nodes 3\n0 99\n")
+	f.Add("nodes 3\nx y\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := Read(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, g); err != nil {
+			t.Fatalf("accepted graph failed to serialize: %v", err)
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("own serialization rejected: %v", err)
+		}
+		if !g.Equal(back) {
+			t.Fatal("round trip changed the graph")
+		}
+	})
+}

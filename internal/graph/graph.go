@@ -1,0 +1,248 @@
+// Package graph provides the directed-graph model used throughout the
+// repository: the ground-truth diffusion networks that experiments simulate
+// on, and the inferred topologies that reconstruction algorithms return.
+//
+// Nodes are identified by dense integer indices in [0, N). Edges are
+// directed; an edge (u, v) means u has an influence relationship to v, i.e.
+// an infected u may infect v. The representation keeps both out- and
+// in-adjacency so that simulators (which walk children) and inference code
+// (which reasons about parents) are equally cheap.
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Edge is a directed edge from From to To.
+type Edge struct {
+	From, To int
+}
+
+// Directed is a mutable directed graph over nodes 0..n-1.
+//
+// The zero value is not usable; create graphs with New. Methods that take
+// node indices panic when an index is out of range, because an out-of-range
+// node is always a programming error in this codebase (node sets are fixed
+// up front by the problem statement).
+type Directed struct {
+	n        int
+	out      [][]int // children per node, kept sorted
+	in       [][]int // parents per node, kept sorted
+	edgeSet  map[Edge]struct{}
+	numEdges int
+}
+
+// New returns an empty directed graph with n nodes and no edges.
+func New(n int) *Directed {
+	if n < 0 {
+		panic(fmt.Sprintf("graph: negative node count %d", n))
+	}
+	return &Directed{
+		n:       n,
+		out:     make([][]int, n),
+		in:      make([][]int, n),
+		edgeSet: make(map[Edge]struct{}),
+	}
+}
+
+// NumNodes returns the number of nodes.
+func (g *Directed) NumNodes() int { return g.n }
+
+// NumEdges returns the number of directed edges.
+func (g *Directed) NumEdges() int { return g.numEdges }
+
+func (g *Directed) check(v int) {
+	if v < 0 || v >= g.n {
+		panic(fmt.Sprintf("graph: node %d out of range [0,%d)", v, g.n))
+	}
+}
+
+// HasEdge reports whether the directed edge (from, to) exists.
+func (g *Directed) HasEdge(from, to int) bool {
+	g.check(from)
+	g.check(to)
+	_, ok := g.edgeSet[Edge{from, to}]
+	return ok
+}
+
+// AddEdge inserts the directed edge (from, to). Inserting an existing edge
+// or a self-loop is a no-op; the method reports whether the edge was added.
+func (g *Directed) AddEdge(from, to int) bool {
+	g.check(from)
+	g.check(to)
+	if from == to {
+		return false
+	}
+	e := Edge{from, to}
+	if _, ok := g.edgeSet[e]; ok {
+		return false
+	}
+	g.edgeSet[e] = struct{}{}
+	g.out[from] = insertSorted(g.out[from], to)
+	g.in[to] = insertSorted(g.in[to], from)
+	g.numEdges++
+	return true
+}
+
+// RemoveEdge deletes the directed edge (from, to) and reports whether it
+// existed.
+func (g *Directed) RemoveEdge(from, to int) bool {
+	g.check(from)
+	g.check(to)
+	e := Edge{from, to}
+	if _, ok := g.edgeSet[e]; !ok {
+		return false
+	}
+	delete(g.edgeSet, e)
+	g.out[from] = removeSorted(g.out[from], to)
+	g.in[to] = removeSorted(g.in[to], from)
+	g.numEdges--
+	return true
+}
+
+// Children returns the nodes v such that (u, v) is an edge. The returned
+// slice is sorted and must not be modified by the caller.
+func (g *Directed) Children(u int) []int {
+	g.check(u)
+	return g.out[u]
+}
+
+// Parents returns the nodes v such that (v, u) is an edge. The returned
+// slice is sorted and must not be modified by the caller.
+func (g *Directed) Parents(u int) []int {
+	g.check(u)
+	return g.in[u]
+}
+
+// OutDegree returns the number of children of u.
+func (g *Directed) OutDegree(u int) int {
+	g.check(u)
+	return len(g.out[u])
+}
+
+// InDegree returns the number of parents of u.
+func (g *Directed) InDegree(u int) int {
+	g.check(u)
+	return len(g.in[u])
+}
+
+// Edges returns all edges sorted by (From, To). The slice is freshly
+// allocated and owned by the caller.
+func (g *Directed) Edges() []Edge {
+	edges := make([]Edge, 0, g.numEdges)
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.out[u] {
+			edges = append(edges, Edge{u, v})
+		}
+	}
+	return edges
+}
+
+// Clone returns a deep copy of g.
+func (g *Directed) Clone() *Directed {
+	c := New(g.n)
+	for e := range g.edgeSet {
+		c.AddEdge(e.From, e.To)
+	}
+	return c
+}
+
+// Symmetrize adds the reverse of every edge, turning g into the directed
+// version of an undirected graph. It returns the number of edges added.
+func (g *Directed) Symmetrize() int {
+	added := 0
+	for _, e := range g.Edges() {
+		if g.AddEdge(e.To, e.From) {
+			added++
+		}
+	}
+	return added
+}
+
+// Equal reports whether g and h have the same node count and edge set.
+func (g *Directed) Equal(h *Directed) bool {
+	if g.n != h.n || g.numEdges != h.numEdges {
+		return false
+	}
+	for e := range g.edgeSet {
+		if _, ok := h.edgeSet[e]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// String returns a short human-readable summary.
+func (g *Directed) String() string {
+	return fmt.Sprintf("Directed(n=%d, m=%d)", g.n, g.numEdges)
+}
+
+// AverageDegree returns the total number of edges divided by the number of
+// nodes, the edge-density measure the paper's Section V-C uses.
+func (g *Directed) AverageDegree() float64 {
+	if g.n == 0 {
+		return 0
+	}
+	return float64(g.numEdges) / float64(g.n)
+}
+
+// DegreeStats summarizes the in-degree distribution of the graph.
+type DegreeStats struct {
+	Min, Max     int
+	Mean, StdDev float64
+}
+
+// InDegreeStats computes summary statistics of the in-degree distribution.
+func (g *Directed) InDegreeStats() DegreeStats {
+	return degreeStats(g.in)
+}
+
+// OutDegreeStats computes summary statistics of the out-degree distribution.
+func (g *Directed) OutDegreeStats() DegreeStats {
+	return degreeStats(g.out)
+}
+
+func degreeStats(adj [][]int) DegreeStats {
+	if len(adj) == 0 {
+		return DegreeStats{}
+	}
+	s := DegreeStats{Min: len(adj[0])}
+	var sum, sumSq float64
+	for _, nb := range adj {
+		d := len(nb)
+		if d < s.Min {
+			s.Min = d
+		}
+		if d > s.Max {
+			s.Max = d
+		}
+		sum += float64(d)
+		sumSq += float64(d) * float64(d)
+	}
+	n := float64(len(adj))
+	s.Mean = sum / n
+	variance := sumSq/n - s.Mean*s.Mean
+	if variance < 0 {
+		variance = 0
+	}
+	s.StdDev = math.Sqrt(variance)
+	return s
+}
+
+func insertSorted(s []int, v int) []int {
+	i := sort.SearchInts(s, v)
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+func removeSorted(s []int, v int) []int {
+	i := sort.SearchInts(s, v)
+	if i < len(s) && s[i] == v {
+		return append(s[:i], s[i+1:]...)
+	}
+	return s
+}

@@ -1,0 +1,298 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEmpty(t *testing.T) {
+	g := New(5)
+	if g.NumNodes() != 5 {
+		t.Fatalf("NumNodes = %d, want 5", g.NumNodes())
+	}
+	if g.NumEdges() != 0 {
+		t.Fatalf("NumEdges = %d, want 0", g.NumEdges())
+	}
+	for v := 0; v < 5; v++ {
+		if len(g.Children(v)) != 0 || len(g.Parents(v)) != 0 {
+			t.Fatalf("node %d has unexpected adjacency", v)
+		}
+	}
+}
+
+func TestAddEdge(t *testing.T) {
+	g := New(3)
+	if !g.AddEdge(0, 1) {
+		t.Fatal("AddEdge(0,1) = false, want true")
+	}
+	if g.AddEdge(0, 1) {
+		t.Fatal("duplicate AddEdge(0,1) = true, want false")
+	}
+	if g.AddEdge(1, 1) {
+		t.Fatal("self-loop AddEdge(1,1) = true, want false")
+	}
+	if !g.HasEdge(0, 1) {
+		t.Fatal("HasEdge(0,1) = false after insert")
+	}
+	if g.HasEdge(1, 0) {
+		t.Fatal("HasEdge(1,0) = true; edges must be directed")
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d, want 1", g.NumEdges())
+	}
+}
+
+func TestRemoveEdge(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	if !g.RemoveEdge(0, 1) {
+		t.Fatal("RemoveEdge existing = false")
+	}
+	if g.RemoveEdge(0, 1) {
+		t.Fatal("RemoveEdge missing = true")
+	}
+	if g.HasEdge(0, 1) || !g.HasEdge(0, 2) {
+		t.Fatal("edge set wrong after removal")
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d, want 1", g.NumEdges())
+	}
+	if d := g.InDegree(1); d != 0 {
+		t.Fatalf("InDegree(1) = %d, want 0", d)
+	}
+}
+
+func TestAdjacencySorted(t *testing.T) {
+	g := New(6)
+	for _, v := range []int{5, 2, 4, 1, 3} {
+		g.AddEdge(0, v)
+		g.AddEdge(v, 0)
+	}
+	prev := -1
+	for _, c := range g.Children(0) {
+		if c <= prev {
+			t.Fatalf("Children(0) not sorted: %v", g.Children(0))
+		}
+		prev = c
+	}
+	prev = -1
+	for _, p := range g.Parents(0) {
+		if p <= prev {
+			t.Fatalf("Parents(0) not sorted: %v", g.Parents(0))
+		}
+		prev = p
+	}
+}
+
+func TestEdgesSortedAndComplete(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := GNM(20, 60, rng)
+	edges := g.Edges()
+	if len(edges) != 60 {
+		t.Fatalf("len(Edges) = %d, want 60", len(edges))
+	}
+	for i := 1; i < len(edges); i++ {
+		a, b := edges[i-1], edges[i]
+		if a.From > b.From || (a.From == b.From && a.To >= b.To) {
+			t.Fatalf("Edges not strictly sorted at %d: %v %v", i, a, b)
+		}
+	}
+	for _, e := range edges {
+		if !g.HasEdge(e.From, e.To) {
+			t.Fatalf("edge %v listed but not present", e)
+		}
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	g := Chain(4)
+	c := g.Clone()
+	if !g.Equal(c) {
+		t.Fatal("clone not equal to original")
+	}
+	c.AddEdge(3, 0)
+	if g.Equal(c) {
+		t.Fatal("mutating clone affected original comparison")
+	}
+	if g.HasEdge(3, 0) {
+		t.Fatal("mutating clone mutated original")
+	}
+}
+
+func TestSymmetrize(t *testing.T) {
+	g := Chain(4) // 3 edges
+	added := g.Symmetrize()
+	if added != 3 {
+		t.Fatalf("Symmetrize added %d, want 3", added)
+	}
+	for _, e := range g.Edges() {
+		if !g.HasEdge(e.To, e.From) {
+			t.Fatalf("missing reverse of %v", e)
+		}
+	}
+	if g.Symmetrize() != 0 {
+		t.Fatal("second Symmetrize should add nothing")
+	}
+}
+
+func TestDegreeStats(t *testing.T) {
+	g := Star(5) // node 0 -> 1..4
+	out := g.OutDegreeStats()
+	if out.Max != 4 || out.Min != 0 {
+		t.Fatalf("out stats = %+v", out)
+	}
+	if out.Mean != 4.0/5.0 {
+		t.Fatalf("out mean = %v, want 0.8", out.Mean)
+	}
+	in := g.InDegreeStats()
+	if in.Max != 1 || in.Min != 0 {
+		t.Fatalf("in stats = %+v", in)
+	}
+	if g.AverageDegree() != 4.0/5.0 {
+		t.Fatalf("AverageDegree = %v", g.AverageDegree())
+	}
+}
+
+func TestBuilders(t *testing.T) {
+	if g := Chain(5); g.NumEdges() != 4 || !g.HasEdge(0, 1) || !g.HasEdge(3, 4) {
+		t.Fatalf("Chain wrong: %v", g)
+	}
+	if g := Star(5); g.NumEdges() != 4 || g.OutDegree(0) != 4 {
+		t.Fatalf("Star wrong: %v", g)
+	}
+	if g := Cycle(4); g.NumEdges() != 4 || !g.HasEdge(3, 0) {
+		t.Fatalf("Cycle wrong: %v", g)
+	}
+	bt := BalancedTree(7, 2)
+	if bt.NumEdges() != 6 {
+		t.Fatalf("BalancedTree edges = %d, want 6", bt.NumEdges())
+	}
+	for v := 1; v < 7; v++ {
+		if bt.InDegree(v) != 1 {
+			t.Fatalf("tree node %d has in-degree %d", v, bt.InDegree(v))
+		}
+	}
+	if bt.InDegree(0) != 0 {
+		t.Fatal("tree root has a parent")
+	}
+}
+
+func TestGNM(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := GNM(10, 30, rng)
+	if g.NumEdges() != 30 {
+		t.Fatalf("GNM edges = %d, want 30", g.NumEdges())
+	}
+	for _, e := range g.Edges() {
+		if e.From == e.To {
+			t.Fatalf("GNM produced self-loop %v", e)
+		}
+	}
+}
+
+func TestPreferentialAttachment(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := PreferentialAttachment(200, 3, rng)
+	if g.NumNodes() != 200 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	if g.NumEdges() < 3*190 {
+		t.Fatalf("edges = %d, expected close to 3 per node", g.NumEdges())
+	}
+	// Heavy tail: max total degree should comfortably exceed the mean.
+	maxDeg, sumDeg := 0, 0
+	for v := 0; v < 200; v++ {
+		d := g.InDegree(v) + g.OutDegree(v)
+		sumDeg += d
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	meanDeg := float64(sumDeg) / 200
+	if float64(maxDeg) < 3*meanDeg {
+		t.Fatalf("degree distribution looks uniform: max %d, mean %.1f", maxDeg, meanDeg)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	g := New(2)
+	for _, fn := range []func(){
+		func() { g.AddEdge(-1, 0) },
+		func() { g.AddEdge(0, 2) },
+		func() { g.Children(5) },
+		func() { g.Parents(-3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic for out-of-range node")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: for any sequence of insertions, in/out adjacency stay mutually
+// consistent and NumEdges matches the edge-set size.
+func TestAdjacencyConsistencyProperty(t *testing.T) {
+	f := func(pairs []uint16) bool {
+		const n = 16
+		g := New(n)
+		for _, p := range pairs {
+			g.AddEdge(int(p>>8)%n, int(p&0xff)%n)
+		}
+		count := 0
+		for u := 0; u < n; u++ {
+			for _, v := range g.Children(u) {
+				count++
+				found := false
+				for _, p := range g.Parents(v) {
+					if p == u {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+		}
+		return count == g.NumEdges() && len(g.Edges()) == g.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Clone is always Equal, and removal after insertion restores
+// non-membership.
+func TestInsertRemoveProperty(t *testing.T) {
+	f := func(pairs []uint16) bool {
+		const n = 12
+		g := New(n)
+		for _, p := range pairs {
+			u, v := int(p>>8)%n, int(p&0xff)%n
+			had := g.HasEdge(u, v)
+			added := g.AddEdge(u, v)
+			if u != v && had == added {
+				return false // added must be !had for non-loops
+			}
+			if !g.Clone().Equal(g) {
+				return false
+			}
+		}
+		for _, e := range g.Edges() {
+			g.RemoveEdge(e.From, e.To)
+			if g.HasEdge(e.From, e.To) {
+				return false
+			}
+		}
+		return g.NumEdges() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,98 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	g := GNM(25, 80, rng)
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !g.Equal(got) {
+		t.Fatal("round trip lost edges")
+	}
+}
+
+func TestWriteDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := GNM(15, 40, rng)
+	var a, b bytes.Buffer
+	if err := Write(&a, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&b, g.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("serialization is not deterministic")
+	}
+}
+
+func TestReadCommentsAndBlanks(t *testing.T) {
+	in := "# a comment\n\nnodes 3\n# another\n0 1\n\n1 2\n"
+	g, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if g.NumNodes() != 3 || !g.HasEdge(0, 1) || !g.HasEdge(1, 2) {
+		t.Fatalf("parsed graph wrong: %v edges=%v", g, g.Edges())
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"empty", ""},
+		{"no header", "0 1\n"},
+		{"bad header", "nodes x\n"},
+		{"negative nodes", "nodes -2\n"},
+		{"bad edge arity", "nodes 3\n0 1 2\n"},
+		{"bad from", "nodes 3\nx 1\n"},
+		{"bad to", "nodes 3\n1 y\n"},
+		{"edge out of range", "nodes 3\n0 7\n"},
+		{"negative node", "nodes 3\n-1 2\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Read(strings.NewReader(tc.in)); err == nil {
+				t.Fatalf("Read(%q) succeeded, want error", tc.in)
+			}
+		})
+	}
+}
+
+// Property: any graph over a small node set survives a serialize/parse
+// round trip exactly.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(pairs []uint16, nodesSeed uint8) bool {
+		n := int(nodesSeed%20) + 1
+		g := New(n)
+		for _, p := range pairs {
+			g.AddEdge(int(p>>8)%n, int(p&0xff)%n)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, g); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		return g.Equal(got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,107 @@
+package influence
+
+import (
+	"math/rand"
+	"testing"
+
+	"tends/internal/diffusion"
+	"tends/internal/graph"
+)
+
+func TestSpreadWithBlocked(t *testing.T) {
+	// Chain with p≈1: blocking the middle node halves reachable spread.
+	g := graph.Chain(9)
+	ep := diffusion.UniformEdgeProbs(g, 0.999999)
+	rng := rand.New(rand.NewSource(1))
+	open, err := SpreadWithBlocked(ep, nil, 1, 400, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut, err := SpreadWithBlocked(ep, []int{4}, 1, 400, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cut >= open {
+		t.Fatalf("blocking the chain middle did not reduce spread: %v -> %v", open, cut)
+	}
+}
+
+func TestSpreadWithBlockedEverything(t *testing.T) {
+	g := graph.Chain(3)
+	ep := diffusion.UniformEdgeProbs(g, 0.5)
+	s, err := SpreadWithBlocked(ep, []int{0, 1, 2}, 1, 10, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != 0 {
+		t.Fatalf("all blocked should give spread 0, got %v", s)
+	}
+}
+
+func TestSpreadWithBlockedErrors(t *testing.T) {
+	g := graph.Chain(4)
+	ep := diffusion.UniformEdgeProbs(g, 0.5)
+	rng := rand.New(rand.NewSource(1))
+	if _, err := SpreadWithBlocked(ep, nil, 1, 0, rng); err == nil {
+		t.Fatal("samples=0 should fail")
+	}
+	if _, err := SpreadWithBlocked(ep, nil, 0, 10, rng); err == nil {
+		t.Fatal("numSeeds=0 should fail")
+	}
+	if _, err := SpreadWithBlocked(ep, []int{9}, 1, 10, rng); err == nil {
+		t.Fatal("out-of-range blocked node should fail")
+	}
+}
+
+func TestGreedyImmunizePicksTheHub(t *testing.T) {
+	// A star hub is the single most effective node to immunize.
+	g := graph.Star(10)
+	g.Symmetrize()
+	ep := diffusion.UniformEdgeProbs(g, 0.9)
+	rng := rand.New(rand.NewSource(3))
+	blocked, spreads, err := GreedyImmunize(ep, 1, 2, 300, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocked) != 1 || blocked[0] != 0 {
+		t.Fatalf("immunized %v, want the hub [0]", blocked)
+	}
+	if len(spreads) != 1 || spreads[0] <= 0 {
+		t.Fatalf("spreads = %v", spreads)
+	}
+}
+
+func TestGreedyImmunizeReducesSpreadMonotonically(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := graph.PreferentialAttachment(30, 2, rng)
+	ep := diffusion.UniformEdgeProbs(g, 0.5)
+	blocked, spreads, err := GreedyImmunize(ep, 4, 3, 200, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocked) != 4 {
+		t.Fatalf("blocked = %v", blocked)
+	}
+	for i := 1; i < len(spreads); i++ {
+		// Estimated spread after i+1 immunizations should not exceed the
+		// previous step by more than Monte Carlo noise.
+		if spreads[i] > spreads[i-1]+1.0 {
+			t.Fatalf("spread increased after immunization: %v", spreads)
+		}
+	}
+}
+
+func TestGreedyImmunizeBudget(t *testing.T) {
+	g := graph.Chain(5)
+	ep := diffusion.UniformEdgeProbs(g, 0.5)
+	blocked, _, err := GreedyImmunize(ep, 100, 1, 20, rand.New(rand.NewSource(6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocked) != 5 {
+		t.Fatalf("budget beyond n should cap at n, got %d", len(blocked))
+	}
+	if _, _, err := GreedyImmunize(ep, -1, 1, 20, rand.New(rand.NewSource(7))); err == nil {
+		t.Fatal("negative budget should fail")
+	}
+}

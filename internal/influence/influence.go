@@ -1,0 +1,147 @@
+// Package influence provides influence maximization on a weighted diffusion
+// network — the downstream task the paper's introduction motivates topology
+// reconstruction with ("designing effective strategies to promote or
+// prevent future diffusions").
+//
+// Expected spread under the independent-cascade model is estimated by Monte
+// Carlo simulation; seed sets are chosen with the CELF-accelerated greedy
+// (Leskovec et al., KDD 2007), which inherits the (1−1/e) guarantee of
+// submodular maximization while skipping most marginal-gain re-evaluations.
+//
+// Together with core.Infer (topology) and probest.Run (edge probabilities),
+// this closes the loop the paper sketches: observe outbreaks → reconstruct
+// the network → choose where to intervene.
+package influence
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+
+	"tends/internal/diffusion"
+)
+
+// Spread estimates the expected number of infected nodes when the given
+// seed set starts an independent-cascade process on the weighted network,
+// averaged over the given number of Monte Carlo samples.
+func Spread(ep *diffusion.EdgeProbs, seeds []int, samples int, rng *rand.Rand) (float64, error) {
+	g := ep.Graph()
+	n := g.NumNodes()
+	if samples <= 0 {
+		return 0, fmt.Errorf("influence: samples must be positive, got %d", samples)
+	}
+	for _, s := range seeds {
+		if s < 0 || s >= n {
+			return 0, fmt.Errorf("influence: seed %d out of range [0,%d)", s, n)
+		}
+	}
+	total := 0
+	infected := make([]bool, n)
+	frontier := make([]int, 0, len(seeds))
+	for sample := 0; sample < samples; sample++ {
+		for i := range infected {
+			infected[i] = false
+		}
+		frontier = frontier[:0]
+		count := 0
+		for _, s := range seeds {
+			if !infected[s] {
+				infected[s] = true
+				frontier = append(frontier, s)
+				count++
+			}
+		}
+		for len(frontier) > 0 {
+			var next []int
+			for _, u := range frontier {
+				for _, v := range g.Children(u) {
+					if infected[v] {
+						continue
+					}
+					if rng.Float64() < ep.Prob(u, v) {
+						infected[v] = true
+						count++
+						next = append(next, v)
+					}
+				}
+			}
+			frontier = next
+		}
+		total += count
+	}
+	return float64(total) / float64(samples), nil
+}
+
+// GreedySeeds selects up to k seeds maximizing estimated spread via lazy
+// (CELF) greedy. It returns the chosen seeds in selection order and the
+// cumulative expected spread after each selection.
+func GreedySeeds(ep *diffusion.EdgeProbs, k, samples int, rng *rand.Rand) ([]int, []float64, error) {
+	g := ep.Graph()
+	n := g.NumNodes()
+	if k < 0 {
+		return nil, nil, fmt.Errorf("influence: negative seed budget %d", k)
+	}
+	if k > n {
+		k = n
+	}
+	if samples <= 0 {
+		return nil, nil, fmt.Errorf("influence: samples must be positive, got %d", samples)
+	}
+
+	// Initial marginal gains = singleton spreads.
+	pq := make(gainHeap, 0, n)
+	for v := 0; v < n; v++ {
+		s, err := Spread(ep, []int{v}, samples, rng)
+		if err != nil {
+			return nil, nil, err
+		}
+		pq = append(pq, seedGain{node: v, gain: s, round: 0})
+	}
+	heap.Init(&pq)
+
+	var seeds []int
+	var spreads []float64
+	current := 0.0
+	round := 0
+	for len(seeds) < k && pq.Len() > 0 {
+		top := pq[0]
+		if top.round != round {
+			// Stale: recompute the marginal gain against the current set.
+			withTop := append(append([]int(nil), seeds...), top.node)
+			s, err := Spread(ep, withTop, samples, rng)
+			if err != nil {
+				return nil, nil, err
+			}
+			pq[0].gain = s - current
+			pq[0].round = round
+			heap.Fix(&pq, 0)
+			continue
+		}
+		heap.Pop(&pq)
+		seeds = append(seeds, top.node)
+		current += top.gain
+		spreads = append(spreads, current)
+		round++
+	}
+	return seeds, spreads, nil
+}
+
+type seedGain struct {
+	node  int
+	gain  float64
+	round int
+}
+
+type gainHeap []seedGain
+
+func (h gainHeap) Len() int           { return len(h) }
+func (h gainHeap) Less(i, j int) bool { return h[i].gain > h[j].gain }
+func (h gainHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *gainHeap) Push(x any)        { *h = append(*h, x.(seedGain)) }
+func (h *gainHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

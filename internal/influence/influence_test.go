@@ -1,0 +1,150 @@
+package influence
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tends/internal/diffusion"
+	"tends/internal/graph"
+)
+
+func TestSpreadDeterministicStructure(t *testing.T) {
+	// Chain with p≈1: seeding node 0 infects everything.
+	g := graph.Chain(10)
+	ep := diffusion.UniformEdgeProbs(g, 0.999999)
+	rng := rand.New(rand.NewSource(1))
+	s, err := Spread(ep, []int{0}, 50, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-10) > 0.01 {
+		t.Fatalf("spread from chain head = %v, want 10", s)
+	}
+	s, err = Spread(ep, []int{9}, 50, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-1) > 0.01 {
+		t.Fatalf("spread from chain tail = %v, want 1", s)
+	}
+}
+
+func TestSpreadMatchesClosedForm(t *testing.T) {
+	// Star with probability p: expected spread from the hub = 1 + (n-1)p.
+	g := graph.Star(9)
+	ep := diffusion.UniformEdgeProbs(g, 0.3)
+	rng := rand.New(rand.NewSource(2))
+	s, err := Spread(ep, []int{0}, 30000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 + 8*0.3
+	if math.Abs(s-want) > 0.1 {
+		t.Fatalf("hub spread = %v, want %v", s, want)
+	}
+}
+
+func TestSpreadDuplicateSeeds(t *testing.T) {
+	g := graph.Chain(5)
+	ep := diffusion.UniformEdgeProbs(g, 0.5)
+	rng := rand.New(rand.NewSource(3))
+	s, err := Spread(ep, []int{2, 2, 2}, 100, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s < 1 || s > 3.5 {
+		t.Fatalf("duplicate seeds mishandled: spread %v", s)
+	}
+}
+
+func TestSpreadErrors(t *testing.T) {
+	g := graph.Chain(4)
+	ep := diffusion.UniformEdgeProbs(g, 0.5)
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Spread(ep, []int{0}, 0, rng); err == nil {
+		t.Fatal("samples=0 should fail")
+	}
+	if _, err := Spread(ep, []int{7}, 10, rng); err == nil {
+		t.Fatal("out-of-range seed should fail")
+	}
+}
+
+func TestGreedySeedsPicksTheHub(t *testing.T) {
+	// Two stars, the bigger one should yield the first seed.
+	g := graph.New(16)
+	for i := 1; i <= 9; i++ {
+		g.AddEdge(0, i) // big star around 0
+	}
+	for i := 11; i <= 15; i++ {
+		g.AddEdge(10, i) // small star around 10
+	}
+	ep := diffusion.UniformEdgeProbs(g, 0.9)
+	rng := rand.New(rand.NewSource(4))
+	seeds, spreads, err := GreedySeeds(ep, 2, 400, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seeds) != 2 || len(spreads) != 2 {
+		t.Fatalf("seeds=%v spreads=%v", seeds, spreads)
+	}
+	if seeds[0] != 0 {
+		t.Fatalf("first seed = %d, want the big hub 0", seeds[0])
+	}
+	if seeds[1] != 10 {
+		t.Fatalf("second seed = %d, want the small hub 10", seeds[1])
+	}
+	if spreads[1] <= spreads[0] {
+		t.Fatalf("cumulative spread not increasing: %v", spreads)
+	}
+}
+
+func TestGreedySeedsBudgetAndErrors(t *testing.T) {
+	g := graph.Chain(5)
+	ep := diffusion.UniformEdgeProbs(g, 0.5)
+	rng := rand.New(rand.NewSource(5))
+	seeds, _, err := GreedySeeds(ep, 100, 50, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seeds) != 5 {
+		t.Fatalf("budget beyond n should cap at n: %d seeds", len(seeds))
+	}
+	if _, _, err := GreedySeeds(ep, -1, 50, rng); err == nil {
+		t.Fatal("negative budget should fail")
+	}
+	if _, _, err := GreedySeeds(ep, 2, 0, rng); err == nil {
+		t.Fatal("samples=0 should fail")
+	}
+	zero, spreads, err := GreedySeeds(ep, 0, 50, rng)
+	if err != nil || len(zero) != 0 || len(spreads) != 0 {
+		t.Fatalf("zero budget: %v %v %v", zero, spreads, err)
+	}
+}
+
+func TestGreedyBeatsRandomSeeds(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := graph.PreferentialAttachment(60, 2, rng)
+	ep := diffusion.UniformEdgeProbs(g, 0.3)
+	seeds, _, err := GreedySeeds(ep, 3, 300, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	greedySpread, err := Spread(ep, seeds, 2000, rand.New(rand.NewSource(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	randSpread := 0.0
+	for trial := 0; trial < 5; trial++ {
+		random := rand.New(rand.NewSource(int64(9 + trial))).Perm(60)[:3]
+		s, err := Spread(ep, random, 2000, rand.New(rand.NewSource(20+int64(trial))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		randSpread += s
+	}
+	randSpread /= 5
+	if greedySpread < randSpread {
+		t.Fatalf("greedy spread %v below random %v", greedySpread, randSpread)
+	}
+}

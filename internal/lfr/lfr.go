@@ -1,0 +1,308 @@
+// Package lfr generates Lancichinetti–Fortunato–Radicchi (LFR) benchmark
+// graphs, the synthetic networks the paper's experiments run on (Table II).
+//
+// An LFR graph has a power-law degree distribution with exponent τ (the
+// paper's degree-distribution parameter: larger τ means less dispersion), a
+// power-law community-size distribution, and a mixing parameter μ giving the
+// fraction of each node's edges that leave its community. The construction
+// here follows the original paper's recipe: sample a degree sequence, sample
+// community sizes, assign nodes to communities respecting internal-degree
+// capacity, then wire internal and external stubs configuration-model style
+// with rewiring repair for duplicates and self-loops.
+//
+// The paper simulates diffusion on directed networks; as is standard when
+// using LFR for diffusion studies, the generated undirected topology is
+// symmetrized into a digraph (each undirected edge becomes two directed
+// edges) unless Params.Directed requests random orientation.
+package lfr
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tends/internal/graph"
+	"tends/internal/stats"
+)
+
+// Params configures an LFR benchmark graph.
+type Params struct {
+	N            int     // number of nodes
+	AvgDegree    float64 // target average (undirected) degree, the paper's κ
+	MaxDegree    int     // degree cutoff; 0 means max(3·AvgDegree, 10)
+	DegreeExp    float64 // degree power-law exponent, the paper's τ
+	CommunityExp float64 // community-size power-law exponent (default 1.5)
+	Mixing       float64 // fraction of edges leaving the community (default 0.1)
+	MinCommunity int     // smallest community size; 0 means max(AvgDegree+1, 10)
+	MaxCommunity int     // largest community size; 0 means N/3 (floored at MinCommunity)
+	Directed     bool    // orient each undirected edge once at random instead of symmetrizing
+}
+
+func (p Params) withDefaults() (Params, error) {
+	if p.N <= 0 {
+		return p, fmt.Errorf("lfr: N must be positive, got %d", p.N)
+	}
+	if p.AvgDegree <= 0 || p.AvgDegree >= float64(p.N) {
+		return p, fmt.Errorf("lfr: AvgDegree %v out of range (0, N)", p.AvgDegree)
+	}
+	if p.DegreeExp <= 0 {
+		return p, fmt.Errorf("lfr: DegreeExp must be positive, got %v", p.DegreeExp)
+	}
+	if p.Mixing < 0 || p.Mixing > 1 {
+		return p, fmt.Errorf("lfr: Mixing %v out of [0,1]", p.Mixing)
+	}
+	if p.CommunityExp == 0 {
+		p.CommunityExp = 1.5
+	}
+	if p.Mixing == 0 {
+		p.Mixing = 0.1
+	}
+	if p.MaxDegree == 0 {
+		p.MaxDegree = int(3 * p.AvgDegree)
+		if p.MaxDegree < 10 {
+			p.MaxDegree = 10
+		}
+	}
+	if p.MaxDegree >= p.N {
+		p.MaxDegree = p.N - 1
+	}
+	if p.MinCommunity == 0 {
+		p.MinCommunity = int(p.AvgDegree) + 1
+		if p.MinCommunity < 10 {
+			p.MinCommunity = 10
+		}
+	}
+	if p.MinCommunity > p.N {
+		p.MinCommunity = p.N
+	}
+	if p.MaxCommunity == 0 {
+		p.MaxCommunity = p.N / 3
+	}
+	if p.MaxCommunity < p.MinCommunity {
+		p.MaxCommunity = p.MinCommunity
+	}
+	return p, nil
+}
+
+// Result bundles the generated graph with its community assignment.
+type Result struct {
+	Graph       *graph.Directed
+	Communities [][]int // node lists per community
+	Membership  []int   // community index per node
+}
+
+// Generate builds an LFR benchmark graph. The rng controls all randomness,
+// so a fixed seed reproduces the graph exactly.
+func Generate(p Params, rng *rand.Rand) (*Result, error) {
+	p, err := p.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	degrees := stats.PowerLawDegrees(rng, p.N, p.DegreeExp, 1, p.MaxDegree, p.AvgDegree, 0.05)
+
+	sizes := stats.PowerLawSizes(rng, p.N, p.CommunityExp, p.MinCommunity, p.MaxCommunity)
+	nc := len(sizes)
+
+	// Assign nodes to communities: a node with internal degree
+	// (1-μ)·deg must fit inside its community (internal degree < size).
+	// Greedy placement with retries, largest-degree nodes first.
+	membership := make([]int, p.N)
+	for i := range membership {
+		membership[i] = -1
+	}
+	order := rng.Perm(p.N)
+	remaining := append([]int(nil), sizes...)
+	for _, v := range order {
+		intDeg := internalDegree(degrees[v], p.Mixing)
+		placed := false
+		// Try communities in random order.
+		for _, c := range rng.Perm(nc) {
+			if remaining[c] > 0 && intDeg < sizes[c] {
+				membership[v] = c
+				remaining[c]--
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			// Cap the node's internal degree to the largest community
+			// and place it wherever there is room.
+			for _, c := range rng.Perm(nc) {
+				if remaining[c] > 0 {
+					membership[v] = c
+					remaining[c]--
+					if intDeg >= sizes[c] {
+						degrees[v] = sizes[c] - 1
+						if degrees[v] < 1 {
+							degrees[v] = 1
+						}
+					}
+					placed = true
+					break
+				}
+			}
+		}
+		if !placed {
+			return nil, fmt.Errorf("lfr: failed to place node %d into any community", v)
+		}
+	}
+	communities := make([][]int, nc)
+	for v, c := range membership {
+		communities[c] = append(communities[c], v)
+	}
+
+	// Split each node's stubs into internal and external.
+	intStubs := make([]int, p.N)
+	extStubs := make([]int, p.N)
+	for v, d := range degrees {
+		id := internalDegree(d, p.Mixing)
+		if id >= sizes[membership[v]] {
+			id = sizes[membership[v]] - 1
+		}
+		if id < 0 {
+			id = 0
+		}
+		intStubs[v] = id
+		extStubs[v] = d - id
+	}
+
+	und := newUndirected(p.N)
+	// Wire internal edges per community via configuration model.
+	for c := 0; c < nc; c++ {
+		wireStubs(und, communities[c], func(v int) int { return intStubs[v] }, rng)
+	}
+	// Wire external edges across the whole graph, rejecting intra-community
+	// pairs when possible.
+	wireExternal(und, membership, extStubs, rng)
+
+	g := graph.New(p.N)
+	for _, e := range und.edges() {
+		if p.Directed {
+			if rng.Intn(2) == 0 {
+				g.AddEdge(e.From, e.To)
+			} else {
+				g.AddEdge(e.To, e.From)
+			}
+		} else {
+			g.AddEdge(e.From, e.To)
+			g.AddEdge(e.To, e.From)
+		}
+	}
+	return &Result{Graph: g, Communities: communities, Membership: membership}, nil
+}
+
+func internalDegree(d int, mixing float64) int {
+	id := int(float64(d)*(1-mixing) + 0.5)
+	if id > d {
+		id = d
+	}
+	return id
+}
+
+// undirected is a minimal undirected multigraph-free edge accumulator.
+type undirected struct {
+	n   int
+	set map[graph.Edge]struct{}
+}
+
+func newUndirected(n int) *undirected {
+	return &undirected{n: n, set: make(map[graph.Edge]struct{})}
+}
+
+func norm(u, v int) graph.Edge {
+	if u > v {
+		u, v = v, u
+	}
+	return graph.Edge{From: u, To: v}
+}
+
+func (u *undirected) has(a, b int) bool {
+	_, ok := u.set[norm(a, b)]
+	return ok
+}
+
+func (u *undirected) add(a, b int) bool {
+	if a == b || u.has(a, b) {
+		return false
+	}
+	u.set[norm(a, b)] = struct{}{}
+	return true
+}
+
+func (u *undirected) edges() []graph.Edge {
+	out := make([]graph.Edge, 0, len(u.set))
+	for e := range u.set {
+		out = append(out, e)
+	}
+	return out
+}
+
+// wireStubs pairs stubs among the given nodes configuration-model style.
+// Duplicate/self pairs are retried a bounded number of times and then
+// dropped; LFR tolerates slight degree-sequence deviations.
+func wireStubs(und *undirected, nodes []int, stubCount func(int) int, rng *rand.Rand) {
+	var stubs []int
+	for _, v := range nodes {
+		for i := 0; i < stubCount(v); i++ {
+			stubs = append(stubs, v)
+		}
+	}
+	rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+	if len(stubs)%2 == 1 {
+		stubs = stubs[:len(stubs)-1]
+	}
+	for i := 0; i+1 < len(stubs); i += 2 {
+		a, b := stubs[i], stubs[i+1]
+		if und.add(a, b) {
+			continue
+		}
+		// Retry with random later partners (bounded rewiring repair).
+		for attempt := 0; attempt < 16; attempt++ {
+			j := i + 2 + 2*rng.Intn(max(1, (len(stubs)-i-2)/2))
+			if j+1 >= len(stubs) {
+				break
+			}
+			// Swap b with a later stub and try again.
+			stubs[i+1], stubs[j] = stubs[j], stubs[i+1]
+			b = stubs[i+1]
+			if und.add(a, b) {
+				break
+			}
+		}
+	}
+}
+
+// wireExternal pairs inter-community stubs, preferring partners from other
+// communities; after bounded retries it accepts any legal pair so that the
+// target edge count is approached even for extreme mixing values.
+func wireExternal(und *undirected, membership []int, extStubs []int, rng *rand.Rand) {
+	var stubs []int
+	for v, c := range extStubs {
+		for i := 0; i < c; i++ {
+			stubs = append(stubs, v)
+		}
+	}
+	rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+	if len(stubs)%2 == 1 {
+		stubs = stubs[:len(stubs)-1]
+	}
+	for i := 0; i+1 < len(stubs); i += 2 {
+		a, b := stubs[i], stubs[i+1]
+		if membership[a] != membership[b] && und.add(a, b) {
+			continue
+		}
+		ok := false
+		for attempt := 0; attempt < 16 && !ok; attempt++ {
+			j := i + 2 + 2*rng.Intn(max(1, (len(stubs)-i-2)/2))
+			if j+1 >= len(stubs) {
+				break
+			}
+			stubs[i+1], stubs[j] = stubs[j], stubs[i+1]
+			b = stubs[i+1]
+			ok = membership[a] != membership[b] && und.add(a, b)
+		}
+		if !ok {
+			// Last resort: allow an intra-community external edge.
+			und.add(a, b)
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package lfr
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Table II of the paper defines fifteen LFR benchmark graphs in three
+// series:
+//
+//	LFR1–5:   n = 100,150,200,250,300; κ = 4; τ = 2
+//	LFR6–10:  n = 200; κ = 2,3,4,5,6; τ = 2
+//	LFR11–15: n = 200; κ = 4; τ = 1,1.5,2,2.5,3
+//
+// Benchmark(i) returns the parameters of LFRi for i in 1..15.
+func Benchmark(i int) (Params, error) {
+	switch {
+	case i >= 1 && i <= 5:
+		sizes := []int{100, 150, 200, 250, 300}
+		return Params{N: sizes[i-1], AvgDegree: 4, DegreeExp: 2}, nil
+	case i >= 6 && i <= 10:
+		return Params{N: 200, AvgDegree: float64(i - 4), DegreeExp: 2}, nil
+	case i >= 11 && i <= 15:
+		exps := []float64{1, 1.5, 2, 2.5, 3}
+		return Params{N: 200, AvgDegree: 4, DegreeExp: exps[i-11]}, nil
+	default:
+		return Params{}, fmt.Errorf("lfr: benchmark index %d out of range [1,15]", i)
+	}
+}
+
+// GenerateBenchmark generates LFRi with the given seed.
+func GenerateBenchmark(i int, seed int64) (*Result, error) {
+	p, err := Benchmark(i)
+	if err != nil {
+		return nil, err
+	}
+	return Generate(p, rand.New(rand.NewSource(seed)))
+}

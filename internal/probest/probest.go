@@ -1,0 +1,181 @@
+// Package probest estimates per-edge propagation probabilities from final
+// infection statuses, given a (known or inferred) topology.
+//
+// The paper's problem statement focuses on recovering the edge set and
+// notes that "a few existing approaches have presented how to quantify the
+// propagation probability for a specific edge based on observed infection
+// status results" — this package supplies that missing piece so the library
+// reconstructs the full weighted network.
+//
+// Model: a node's final status follows a noisy-OR of its parents' final
+// statuses,
+//
+//	P(X_v = 1 | x) = 1 − (1 − λ_v) · Π_{u ∈ F_v : x_u = 1} (1 − p_{u→v})
+//
+// where λ_v is a leak probability absorbing exogenous infections (seeding)
+// and p_{u→v} approximates the propagation probability of the edge. The
+// parameters are fitted with the classic latent-variable EM for noisy-OR
+// models, which increases the likelihood monotonically at every step.
+//
+// The noisy-OR reads the *final* statuses, so p̂ estimates the effective
+// end-to-end transmission ratio rather than the per-contact probability of
+// the simulator; the two agree up to the saturation of the diffusion
+// process (tested in this package against simulated ground truth).
+package probest
+
+import (
+	"fmt"
+	"math"
+
+	"tends/internal/diffusion"
+	"tends/internal/graph"
+)
+
+// Options tunes the estimator.
+type Options struct {
+	// Iterations caps the EM iterations; 0 means 2000. The loop stops
+	// early once no parameter moves by more than 1e-8.
+	Iterations int
+	// MinProb floors estimated probabilities away from 0/1 for numerical
+	// stability; 0 means 1e-4.
+	MinProb float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Iterations == 0 {
+		o.Iterations = 2000
+	}
+	if o.MinProb == 0 {
+		o.MinProb = 1e-4
+	}
+	return o
+}
+
+// Estimate fits propagation probabilities for every edge of the topology
+// from the observations. The returned map has one entry per directed edge;
+// Leaks reports the per-node leak probabilities λ_v.
+type Estimate struct {
+	Probs map[graph.Edge]float64
+	Leaks []float64
+}
+
+// Run estimates the edge probabilities of topology g from the status
+// matrix.
+func Run(sm *diffusion.StatusMatrix, g *graph.Directed, opt Options) (*Estimate, error) {
+	opt = opt.withDefaults()
+	if sm.N() != g.NumNodes() {
+		return nil, fmt.Errorf("probest: %d observation columns but %d nodes", sm.N(), g.NumNodes())
+	}
+	if sm.Beta() == 0 {
+		return nil, fmt.Errorf("probest: no observations")
+	}
+	if opt.Iterations < 0 {
+		return nil, fmt.Errorf("probest: negative Iterations")
+	}
+	est := &Estimate{
+		Probs: make(map[graph.Edge]float64, g.NumEdges()),
+		Leaks: make([]float64, g.NumNodes()),
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		parents := g.Parents(v)
+		probs, leak := fitNode(sm, v, parents, opt)
+		est.Leaks[v] = leak
+		for i, u := range parents {
+			est.Probs[graph.Edge{From: u, To: v}] = probs[i]
+		}
+	}
+	return est, nil
+}
+
+// fitNode maximizes the noisy-OR likelihood of one node's column given its
+// parents' columns with the standard latent-variable EM: each active cause
+// u (the leak is cause 0, active in every case) carries a hidden "fired"
+// indicator z_u; the child is the OR of them. Conditioned on outcome 1 with
+// active set A, P(z_u = 1) = p_u / (1 - prod_{w in A}(1 - p_w)); on outcome
+// 0 every z_u is 0. The M-step averages the posteriors, which increases the
+// likelihood monotonically with no step size to tune.
+func fitNode(sm *diffusion.StatusMatrix, v int, parents []int, opt Options) ([]float64, float64) {
+	beta := sm.Beta()
+	k := len(parents)
+	// p[0] is the leak; p[j+1] belongs to parents[j].
+	p := make([]float64, k+1)
+	for j := range p {
+		p[j] = 0.2
+	}
+
+	// Materialize the active-cause sets per observation once.
+	type obs struct {
+		active  []int // indices into p (0 = leak, j+1 = parents[j])
+		outcome bool
+	}
+	cases := make([]obs, beta)
+	activeCount := make([]int, k+1)
+	for pi := 0; pi < beta; pi++ {
+		active := []int{0}
+		for j, u := range parents {
+			if sm.Get(pi, u) {
+				active = append(active, j+1)
+			}
+		}
+		for _, j := range active {
+			activeCount[j]++
+		}
+		cases[pi] = obs{active: active, outcome: sm.Get(pi, v)}
+	}
+
+	acc := make([]float64, k+1)
+	for iter := 0; iter < opt.Iterations; iter++ {
+		for j := range acc {
+			acc[j] = 0
+		}
+		for _, c := range cases {
+			if !c.outcome {
+				continue // all posteriors are 0
+			}
+			q := 1.0
+			for _, j := range c.active {
+				q *= 1 - p[j]
+			}
+			denom := 1 - q
+			if denom < 1e-12 {
+				denom = 1e-12
+			}
+			for _, j := range c.active {
+				acc[j] += p[j] / denom
+			}
+		}
+		maxDelta := 0.0
+		for j := range p {
+			if activeCount[j] == 0 {
+				continue
+			}
+			next := acc[j] / float64(activeCount[j])
+			if next < opt.MinProb {
+				next = opt.MinProb
+			}
+			if next > 1-opt.MinProb {
+				next = 1 - opt.MinProb
+			}
+			if d := math.Abs(next - p[j]); d > maxDelta {
+				maxDelta = d
+			}
+			p[j] = next
+		}
+		if maxDelta < 1e-8 {
+			break
+		}
+	}
+	probs := make([]float64, k)
+	for j := 0; j < k; j++ {
+		if activeCount[j+1] == 0 {
+			probs[j] = 0 // parent never infected: no evidence at all
+			continue
+		}
+		probs[j] = p[j+1]
+	}
+	leak := p[0]
+	if leak <= opt.MinProb {
+		leak = 0
+	}
+	return probs, leak
+}

@@ -1,0 +1,85 @@
+// Package stats provides the statistical primitives TENDS is built on:
+// binary contingency tables, the pointwise mutual-information cells of the
+// paper's Eq. (24), the infection MI of Eq. (25), the modified K-means used
+// for threshold selection (Section IV-B), and the samplers (power-law,
+// truncated Gaussian) that the workload generators rely on.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Contingency2x2 is the joint count table of two binary variables X and Y
+// over a sample of observations. N[x][y] counts observations with X=x, Y=y.
+type Contingency2x2 struct {
+	N [2][2]int
+}
+
+// Add records one observation.
+func (c *Contingency2x2) Add(x, y int) {
+	c.N[x&1][y&1]++
+}
+
+// Total returns the number of recorded observations.
+func (c *Contingency2x2) Total() int {
+	return c.N[0][0] + c.N[0][1] + c.N[1][0] + c.N[1][1]
+}
+
+// MarginalX returns the count of observations with X=x.
+func (c *Contingency2x2) MarginalX(x int) int { return c.N[x&1][0] + c.N[x&1][1] }
+
+// MarginalY returns the count of observations with Y=y.
+func (c *Contingency2x2) MarginalY(y int) int { return c.N[0][y&1] + c.N[1][y&1] }
+
+// MICell computes the pointwise mutual-information cell of Eq. (24) for the
+// specific outcome pair (X=x, Y=y):
+//
+//	P(x,y) * log2( P(x,y) / (P(x)*P(y)) )
+//
+// All probabilities are empirical frequencies from the table. Cells with a
+// zero joint count contribute 0 (the standard 0*log(0) = 0 convention).
+func (c *Contingency2x2) MICell(x, y int) float64 {
+	total := c.Total()
+	if total == 0 {
+		return 0
+	}
+	nxy := c.N[x&1][y&1]
+	if nxy == 0 {
+		return 0
+	}
+	pxy := float64(nxy) / float64(total)
+	px := float64(c.MarginalX(x)) / float64(total)
+	py := float64(c.MarginalY(y)) / float64(total)
+	return pxy * math.Log2(pxy/(px*py))
+}
+
+// MutualInformation returns the full mutual information of the two binary
+// variables: the sum of the four MI cells. It is always >= 0 up to floating
+// point error.
+func (c *Contingency2x2) MutualInformation() float64 {
+	var mi float64
+	for x := 0; x < 2; x++ {
+		for y := 0; y < 2; y++ {
+			mi += c.MICell(x, y)
+		}
+	}
+	return mi
+}
+
+// InfectionMI implements Eq. (25): the positive-correlation-sensitive
+// variant of mutual information,
+//
+//	IMI = MI(1,1) + MI(0,0) - |MI(1,0)| - |MI(0,1)|
+//
+// It is large and positive when the two infections co-occur, near zero when
+// they are independent, and negative when they are anti-correlated.
+func (c *Contingency2x2) InfectionMI() float64 {
+	return c.MICell(1, 1) + c.MICell(0, 0) -
+		math.Abs(c.MICell(1, 0)) - math.Abs(c.MICell(0, 1))
+}
+
+// String renders the table for debugging.
+func (c *Contingency2x2) String() string {
+	return fmt.Sprintf("[[%d %d] [%d %d]]", c.N[0][0], c.N[0][1], c.N[1][0], c.N[1][1])
+}

@@ -1,0 +1,159 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func tableFrom(xs, ys []int) *Contingency2x2 {
+	var c Contingency2x2
+	for i := range xs {
+		c.Add(xs[i], ys[i])
+	}
+	return &c
+}
+
+func TestContingencyCounts(t *testing.T) {
+	c := tableFrom([]int{0, 0, 1, 1, 1}, []int{0, 1, 0, 1, 1})
+	if c.Total() != 5 {
+		t.Fatalf("Total = %d, want 5", c.Total())
+	}
+	if c.N[1][1] != 2 || c.N[0][0] != 1 || c.N[0][1] != 1 || c.N[1][0] != 1 {
+		t.Fatalf("counts wrong: %v", c)
+	}
+	if c.MarginalX(1) != 3 || c.MarginalY(1) != 3 {
+		t.Fatalf("marginals wrong: X1=%d Y1=%d", c.MarginalX(1), c.MarginalY(1))
+	}
+}
+
+func TestMICellEmptyAndZeroJoint(t *testing.T) {
+	var c Contingency2x2
+	if got := c.MICell(1, 1); got != 0 {
+		t.Fatalf("MICell on empty table = %v, want 0", got)
+	}
+	c.Add(0, 0)
+	c.Add(0, 0)
+	if got := c.MICell(1, 1); got != 0 {
+		t.Fatalf("MICell with zero joint count = %v, want 0", got)
+	}
+}
+
+func TestMutualInformationPerfectCorrelation(t *testing.T) {
+	// X == Y always, balanced: MI should be exactly 1 bit.
+	c := tableFrom([]int{0, 0, 1, 1}, []int{0, 0, 1, 1})
+	if mi := c.MutualInformation(); math.Abs(mi-1) > 1e-12 {
+		t.Fatalf("MI of identical balanced variables = %v, want 1", mi)
+	}
+}
+
+func TestMutualInformationIndependent(t *testing.T) {
+	// Exact product distribution: MI must be 0.
+	var c Contingency2x2
+	for x := 0; x < 2; x++ {
+		for y := 0; y < 2; y++ {
+			for k := 0; k < 25; k++ {
+				c.Add(x, y)
+			}
+		}
+	}
+	if mi := c.MutualInformation(); math.Abs(mi) > 1e-12 {
+		t.Fatalf("MI of independent variables = %v, want 0", mi)
+	}
+}
+
+func TestInfectionMISigns(t *testing.T) {
+	// Strong positive correlation: IMI clearly positive.
+	pos := tableFrom(
+		[]int{1, 1, 1, 1, 0, 0, 0, 0},
+		[]int{1, 1, 1, 1, 0, 0, 0, 0},
+	)
+	if imi := pos.InfectionMI(); imi <= 0.5 {
+		t.Fatalf("IMI of perfectly correlated = %v, want > 0.5", imi)
+	}
+	// Strong negative correlation: IMI negative, while plain MI is large.
+	neg := tableFrom(
+		[]int{1, 1, 1, 1, 0, 0, 0, 0},
+		[]int{0, 0, 0, 0, 1, 1, 1, 1},
+	)
+	if imi := neg.InfectionMI(); imi >= 0 {
+		t.Fatalf("IMI of anti-correlated = %v, want < 0", imi)
+	}
+	if mi := neg.MutualInformation(); mi < 0.9 {
+		t.Fatalf("plain MI of anti-correlated = %v, want ~1 (this is why IMI exists)", mi)
+	}
+	// Independence: IMI near zero.
+	var ind Contingency2x2
+	for x := 0; x < 2; x++ {
+		for y := 0; y < 2; y++ {
+			for k := 0; k < 10; k++ {
+				ind.Add(x, y)
+			}
+		}
+	}
+	if imi := ind.InfectionMI(); math.Abs(imi) > 1e-12 {
+		t.Fatalf("IMI of independent = %v, want 0", imi)
+	}
+}
+
+// Property: plain MI is non-negative for any table (up to fp error), and
+// symmetric in the two variables.
+func TestMIPropertyNonNegativeSymmetric(t *testing.T) {
+	f := func(obs []uint8) bool {
+		var c, ct Contingency2x2
+		for _, o := range obs {
+			x, y := int(o)&1, int(o>>1)&1
+			c.Add(x, y)
+			ct.Add(y, x)
+		}
+		mi := c.MutualInformation()
+		if mi < -1e-12 {
+			return false
+		}
+		return math.Abs(mi-ct.MutualInformation()) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: IMI is symmetric and bounded by plain MI in magnitude of its
+// positive part.
+func TestIMIPropertySymmetric(t *testing.T) {
+	f := func(obs []uint8) bool {
+		var c, ct Contingency2x2
+		for _, o := range obs {
+			x, y := int(o)&1, int(o>>1)&1
+			c.Add(x, y)
+			ct.Add(y, x)
+		}
+		return math.Abs(c.InfectionMI()-ct.InfectionMI()) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// IMI on samples from genuinely independent variables concentrates near 0;
+// on a noisy copy it stays clearly positive. This is the statistical basis
+// for the pruning threshold.
+func TestIMIStatisticalSeparation(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var indep, coupled Contingency2x2
+	for i := 0; i < 5000; i++ {
+		x := rng.Intn(2)
+		indep.Add(x, rng.Intn(2))
+		y := x
+		if rng.Float64() < 0.2 {
+			y = 1 - x
+		}
+		coupled.Add(x, y)
+	}
+	if imi := indep.InfectionMI(); math.Abs(imi) > 0.03 {
+		t.Fatalf("independent-sample IMI = %v, want near 0", imi)
+	}
+	if imi := coupled.InfectionMI(); imi < 0.1 {
+		t.Fatalf("coupled-sample IMI = %v, want clearly positive", imi)
+	}
+}

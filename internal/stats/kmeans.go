@@ -1,0 +1,160 @@
+package stats
+
+import "sort"
+
+// TwoMeansThreshold implements the modified K-means of Section IV-B: K = 2
+// over one-dimensional non-negative values, with the first centroid pinned
+// at 0 through every iteration. The returned threshold τ is the largest
+// value assigned to the pinned (near-zero) cluster; every value strictly
+// greater than τ belongs to the significant cluster.
+//
+// If values is empty, or every value lands in the significant cluster from
+// the start, τ is 0 (nothing is pruned beyond negatives).
+//
+// maxIter bounds the K-means iterations; the paper notes t << n and in
+// practice convergence is immediate for 1-D data, but the bound guarantees
+// termination for adversarial inputs.
+func TwoMeansThreshold(values []float64, maxIter int) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	sorted := make([]float64, 0, len(values))
+	for _, v := range values {
+		if v >= 0 {
+			sorted = append(sorted, v)
+		}
+	}
+	if len(sorted) == 0 {
+		return 0
+	}
+	sort.Float64s(sorted)
+
+	// Initialize the free centroid at the maximum value so the pinned
+	// cluster starts as small as possible and grows toward equilibrium.
+	free := sorted[len(sorted)-1]
+	if free == 0 {
+		// Every non-negative value is exactly zero: the near-zero
+		// cluster is everything and τ = 0.
+		return 0
+	}
+	// In 1-D with centroids {0, free}, the assignment boundary is free/2:
+	// values below it are closer to 0. K-means then recomputes free as the
+	// mean of the upper cluster. Work on the sorted slice with a boundary
+	// index.
+	prefix := make([]float64, len(sorted)+1)
+	for i, v := range sorted {
+		prefix[i+1] = prefix[i] + v
+	}
+	boundary := func(c float64) int {
+		// First index with value >= c/2 (assigned to the free centroid;
+		// ties go to the free centroid, which only affects degenerate
+		// duplicated data).
+		return sort.SearchFloat64s(sorted, c/2)
+	}
+	b := boundary(free)
+	for iter := 0; iter < maxIter; iter++ {
+		if b >= len(sorted) {
+			// Everything is in the pinned cluster; τ is the max value,
+			// which would prune everything. Treat as degenerate: τ = max.
+			break
+		}
+		upperCount := len(sorted) - b
+		newFree := (prefix[len(sorted)] - prefix[b]) / float64(upperCount)
+		nb := boundary(newFree)
+		if nb == b {
+			break
+		}
+		b = nb
+		free = newFree
+	}
+	if b == 0 {
+		// Pinned cluster is empty: no near-zero group, nothing to prune.
+		return 0
+	}
+	return sorted[b-1]
+}
+
+// KMeans1D runs standard Lloyd's algorithm on one-dimensional data with k
+// clusters and returns the sorted centroids. It is provided for tests and
+// ablations that compare against the pinned variant. Empty input returns
+// nil; k <= 0 panics.
+func KMeans1D(values []float64, k, maxIter int) []float64 {
+	if k <= 0 {
+		panic("stats: k must be positive")
+	}
+	if len(values) == 0 {
+		return nil
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	if k >= len(sorted) {
+		out := append([]float64(nil), sorted...)
+		return out
+	}
+	// Initialize centroids at evenly spaced quantiles.
+	centroids := make([]float64, k)
+	for i := range centroids {
+		centroids[i] = sorted[(i*(len(sorted)-1))/(k-1+boolToInt(k == 1))]
+	}
+	if k == 1 {
+		centroids[0] = mean(sorted)
+		return centroids
+	}
+	assign := make([]int, len(sorted))
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		for i, v := range sorted {
+			best, bestD := 0, absDiff(v, centroids[0])
+			for c := 1; c < k; c++ {
+				if d := absDiff(v, centroids[c]); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		sums := make([]float64, k)
+		counts := make([]int, k)
+		for i, v := range sorted {
+			sums[assign[i]] += v
+			counts[assign[i]]++
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] > 0 {
+				centroids[c] = sums[c] / float64(counts[c])
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	sort.Float64s(centroids)
+	return centroids
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func absDiff(a, b float64) float64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+func mean(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}

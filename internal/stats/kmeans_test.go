@@ -1,0 +1,119 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestTwoMeansThresholdSeparatesClusters(t *testing.T) {
+	// Clear bimodal data: a pile near zero and a pile near 0.8.
+	var values []float64
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 100; i++ {
+		values = append(values, rng.Float64()*0.02)     // near-zero cluster
+		values = append(values, 0.75+rng.Float64()*0.1) // significant cluster
+	}
+	tau := TwoMeansThreshold(values, 100)
+	if tau < 0.0 || tau > 0.05 {
+		t.Fatalf("threshold = %v, want within the near-zero cluster [0, 0.05]", tau)
+	}
+	// Everything in the significant cluster must be above tau.
+	for _, v := range values {
+		if v >= 0.7 && v <= tau {
+			t.Fatalf("significant value %v not above threshold %v", v, tau)
+		}
+	}
+}
+
+func TestTwoMeansThresholdEdgeCases(t *testing.T) {
+	if tau := TwoMeansThreshold(nil, 10); tau != 0 {
+		t.Fatalf("empty input threshold = %v, want 0", tau)
+	}
+	if tau := TwoMeansThreshold([]float64{-1, -0.5}, 10); tau != 0 {
+		t.Fatalf("all-negative threshold = %v, want 0", tau)
+	}
+	if tau := TwoMeansThreshold([]float64{0, 0, 0}, 10); tau != 0 {
+		t.Fatalf("all-zero threshold = %v, want 0", tau)
+	}
+	// Single positive value: no near-zero cluster forms, nothing pruned.
+	if tau := TwoMeansThreshold([]float64{0.9}, 10); tau != 0 {
+		t.Fatalf("single-value threshold = %v, want 0", tau)
+	}
+}
+
+func TestTwoMeansThresholdIgnoresNegatives(t *testing.T) {
+	base := []float64{0.001, 0.002, 0.9, 0.95}
+	with := append([]float64{-5, -0.3}, base...)
+	if a, b := TwoMeansThreshold(base, 50), TwoMeansThreshold(with, 50); a != b {
+		t.Fatalf("negatives changed threshold: %v vs %v", a, b)
+	}
+}
+
+// Property: the threshold is always one of the input values (or 0), is
+// non-negative, and values above it form a suffix of the sorted data.
+func TestTwoMeansThresholdProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		values := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			// Map arbitrary floats into a sane range, keep some negatives.
+			if v != v || v > 1e12 || v < -1e12 { // NaN/huge guard
+				continue
+			}
+			values = append(values, v/1e6)
+		}
+		tau := TwoMeansThreshold(values, 100)
+		if tau < 0 {
+			return false
+		}
+		if tau == 0 {
+			return true
+		}
+		found := false
+		for _, v := range values {
+			if v == tau {
+				found = true
+				break
+			}
+		}
+		return found
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKMeans1DBasics(t *testing.T) {
+	if got := KMeans1D(nil, 2, 10); got != nil {
+		t.Fatalf("empty input = %v, want nil", got)
+	}
+	got := KMeans1D([]float64{1, 1, 1, 9, 9, 9}, 2, 50)
+	if len(got) != 2 {
+		t.Fatalf("centroids = %v", got)
+	}
+	sort.Float64s(got)
+	if got[0] != 1 || got[1] != 9 {
+		t.Fatalf("centroids = %v, want [1 9]", got)
+	}
+	one := KMeans1D([]float64{2, 4, 6}, 1, 10)
+	if len(one) != 1 || one[0] != 4 {
+		t.Fatalf("k=1 centroid = %v, want [4]", one)
+	}
+}
+
+func TestKMeans1DKLargerThanData(t *testing.T) {
+	got := KMeans1D([]float64{3, 1}, 5, 10)
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("k>len centroids = %v, want sorted data", got)
+	}
+}
+
+func TestKMeans1DPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for k=0")
+		}
+	}()
+	KMeans1D([]float64{1}, 0, 10)
+}

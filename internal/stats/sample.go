@@ -1,0 +1,154 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// TruncatedGaussian draws from N(mu, sigma^2) rejected into the open
+// interval (lo, hi). The paper's simulator draws per-edge propagation
+// probabilities from a Gaussian with mean mu and "variance 0.05" such that
+// more than 95% of values land in [mu-0.1, mu+0.1] — i.e. a standard
+// deviation of 0.05 — and a probability must stay inside (0, 1).
+func TruncatedGaussian(rng *rand.Rand, mu, sigma, lo, hi float64) float64 {
+	if lo >= hi {
+		panic("stats: empty truncation interval")
+	}
+	for i := 0; i < 1024; i++ {
+		v := rng.NormFloat64()*sigma + mu
+		if v > lo && v < hi {
+			return v
+		}
+	}
+	// The interval is so far in the tail that rejection failed 1024 times;
+	// fall back to clamping near the closest bound.
+	mid := (lo + hi) / 2
+	if mu < mid {
+		return lo + (hi-lo)*1e-6
+	}
+	return hi - (hi-lo)*1e-6
+}
+
+// PowerLawDegrees samples n integer degrees from a (truncated, discrete)
+// power law P(d) ∝ d^(-exponent) on [minDeg, maxDeg], then nudges values so
+// the sample mean lands within tol of targetMean. This is the degree
+// sequence construction of the LFR benchmark: exponent is the paper's τ
+// ("larger τ implies less dispersion of degrees").
+func PowerLawDegrees(rng *rand.Rand, n int, exponent float64, minDeg, maxDeg int, targetMean, tol float64) []int {
+	if minDeg < 1 || maxDeg < minDeg {
+		panic("stats: invalid degree bounds")
+	}
+	weights := make([]float64, maxDeg-minDeg+1)
+	var total float64
+	for d := minDeg; d <= maxDeg; d++ {
+		w := math.Pow(float64(d), -exponent)
+		weights[d-minDeg] = w
+		total += w
+	}
+	cdf := make([]float64, len(weights))
+	acc := 0.0
+	for i, w := range weights {
+		acc += w / total
+		cdf[i] = acc
+	}
+	draw := func() int {
+		u := rng.Float64()
+		lo, hi := 0, len(cdf)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cdf[mid] < u {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return minDeg + lo
+	}
+	degs := make([]int, n)
+	sum := 0
+	for i := range degs {
+		degs[i] = draw()
+		sum += degs[i]
+	}
+	// Nudge random entries up or down (within bounds) until the mean is
+	// close enough to the target. Each nudge moves the sum by one, so this
+	// terminates in |sum - target*n| steps.
+	target := targetMean * float64(n)
+	for math.Abs(float64(sum)-target) > tol*float64(n) {
+		i := rng.Intn(n)
+		if float64(sum) > target {
+			if degs[i] > minDeg {
+				degs[i]--
+				sum--
+			}
+		} else {
+			if degs[i] < maxDeg {
+				degs[i]++
+				sum++
+			}
+		}
+	}
+	return degs
+}
+
+// PowerLawSizes partitions total into parts whose sizes follow a power law
+// with the given exponent on [minSize, maxSize]. Used for LFR community
+// sizes. The final part is adjusted to make the sizes sum exactly to total;
+// if the adjustment would fall below minSize it is merged into the previous
+// part.
+func PowerLawSizes(rng *rand.Rand, total int, exponent float64, minSize, maxSize int) []int {
+	if minSize < 1 || maxSize < minSize || total < minSize {
+		panic("stats: invalid size bounds")
+	}
+	var sizes []int
+	remaining := total
+	for remaining > 0 {
+		d := PowerLawDegrees(rng, 1, exponent, minSize, maxSize, float64(minSize+maxSize)/2, 1e9)[0]
+		if d > remaining {
+			d = remaining
+		}
+		sizes = append(sizes, d)
+		remaining -= d
+	}
+	// Repair a tiny final community by merging it backward.
+	if len(sizes) >= 2 && sizes[len(sizes)-1] < minSize {
+		sizes[len(sizes)-2] += sizes[len(sizes)-1]
+		sizes = sizes[:len(sizes)-1]
+	}
+	return sizes
+}
+
+// Mean returns the arithmetic mean of v (0 for empty input).
+func Mean(v []float64) float64 { return mean(v) }
+
+// Quantile returns the p-quantile (0 ≤ p ≤ 1) of v by the nearest-rank
+// method on a sorted copy; 0 for empty input.
+func Quantile(v []float64, p float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	sorted := append([]float64(nil), v...)
+	sort.Float64s(sorted)
+	return sorted[int(p*float64(len(sorted)-1)+0.5)]
+}
+
+// StdDev returns the population standard deviation of v.
+func StdDev(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	m := mean(v)
+	var ss float64
+	for _, x := range v {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(v)))
+}

@@ -1,0 +1,162 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestTruncatedGaussianBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		v := TruncatedGaussian(rng, 0.3, 0.05, 0, 1)
+		if v <= 0 || v >= 1 {
+			t.Fatalf("sample %v outside (0,1)", v)
+		}
+	}
+}
+
+func TestTruncatedGaussianMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var vals []float64
+	for i := 0; i < 20000; i++ {
+		vals = append(vals, TruncatedGaussian(rng, 0.3, 0.05, 0, 1))
+	}
+	if m := Mean(vals); math.Abs(m-0.3) > 0.01 {
+		t.Fatalf("mean = %v, want ~0.3", m)
+	}
+	if sd := StdDev(vals); math.Abs(sd-0.05) > 0.01 {
+		t.Fatalf("stddev = %v, want ~0.05", sd)
+	}
+	// The paper's calibration claim: >95% of draws within mu±0.1.
+	in := 0
+	for _, v := range vals {
+		if v >= 0.2 && v <= 0.4 {
+			in++
+		}
+	}
+	if frac := float64(in) / float64(len(vals)); frac < 0.95 {
+		t.Fatalf("only %.3f of draws within mu±0.1, want >0.95", frac)
+	}
+}
+
+func TestTruncatedGaussianFarTail(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	// Mean far outside the interval: must still return something inside.
+	v := TruncatedGaussian(rng, 50, 0.01, 0, 1)
+	if v <= 0 || v >= 1 {
+		t.Fatalf("tail fallback %v outside (0,1)", v)
+	}
+}
+
+func TestTruncatedGaussianPanicsOnEmptyInterval(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	TruncatedGaussian(rand.New(rand.NewSource(1)), 0, 1, 1, 1)
+}
+
+func TestPowerLawDegreesMeanAndBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	degs := PowerLawDegrees(rng, 2000, 2.0, 1, 20, 4.0, 0.05)
+	sum := 0
+	for _, d := range degs {
+		if d < 1 || d > 20 {
+			t.Fatalf("degree %d out of bounds", d)
+		}
+		sum += d
+	}
+	mean := float64(sum) / float64(len(degs))
+	if math.Abs(mean-4.0) > 0.25 {
+		t.Fatalf("mean degree = %v, want ~4", mean)
+	}
+}
+
+func TestPowerLawDegreesDispersionByExponent(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	spread := func(exp float64) float64 {
+		degs := PowerLawDegrees(rng, 3000, exp, 1, 30, 4.0, 0.05)
+		vals := make([]float64, len(degs))
+		for i, d := range degs {
+			vals[i] = float64(d)
+		}
+		return StdDev(vals)
+	}
+	lo, hi := spread(3.0), spread(1.0)
+	// Larger exponent => less dispersion (the paper's τ semantics).
+	if hi <= lo {
+		t.Fatalf("dispersion ordering violated: exp=1 gives %v, exp=3 gives %v", hi, lo)
+	}
+}
+
+func TestPowerLawDegreesPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, fn := range []func(){
+		func() { PowerLawDegrees(rng, 10, 2, 0, 5, 2, 0.1) },
+		func() { PowerLawDegrees(rng, 10, 2, 5, 4, 2, 0.1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestPowerLawSizesSumAndBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	sizes := PowerLawSizes(rng, 500, 1.5, 10, 60)
+	sum := 0
+	for i, s := range sizes {
+		sum += s
+		if s < 10 && i != len(sizes)-1 {
+			t.Fatalf("size %d below minimum", s)
+		}
+	}
+	if sum != 500 {
+		t.Fatalf("sizes sum to %d, want 500", sum)
+	}
+}
+
+func TestMeanStdDev(t *testing.T) {
+	if Mean(nil) != 0 || StdDev(nil) != 0 {
+		t.Fatal("empty-slice stats should be 0")
+	}
+	if m := Mean([]float64{2, 4, 6}); m != 4 {
+		t.Fatalf("Mean = %v", m)
+	}
+	if sd := StdDev([]float64{5, 5, 5}); sd != 0 {
+		t.Fatalf("StdDev of constant = %v", sd)
+	}
+	if sd := StdDev([]float64{-1, 1}); sd != 1 {
+		t.Fatalf("StdDev = %v, want 1", sd)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	if Quantile(nil, 0.5) != 0 {
+		t.Fatal("empty quantile should be 0")
+	}
+	v := []float64{5, 1, 3, 2, 4}
+	if q := Quantile(v, 0); q != 1 {
+		t.Fatalf("q0 = %v", q)
+	}
+	if q := Quantile(v, 1); q != 5 {
+		t.Fatalf("q1 = %v", q)
+	}
+	if q := Quantile(v, 0.5); q != 3 {
+		t.Fatalf("q50 = %v", q)
+	}
+	// Out-of-range p is clamped; input must stay unsorted.
+	if q := Quantile(v, 2); q != 5 {
+		t.Fatalf("clamped q = %v", q)
+	}
+	if v[0] != 5 {
+		t.Fatal("Quantile mutated its input")
+	}
+}

@@ -1,0 +1,103 @@
+package tends
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	// Build a small symmetric network through the public API.
+	g := NewGraph(10)
+	for i := 0; i+1 < 10; i++ {
+		g.AddEdge(i, i+1)
+		g.AddEdge(i+1, i)
+	}
+	sim, err := Simulate(g, SimulationConfig{Alpha: 0.1, Beta: 800, Mu: 0.4, Seed: 1})
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	res, err := Infer(sim.Statuses, Options{})
+	if err != nil {
+		t.Fatalf("Infer: %v", err)
+	}
+	prf := Score(g, res.Graph)
+	if prf.F < 0.6 {
+		t.Fatalf("public-API recovery F = %.3f (P=%.3f R=%.3f)", prf.F, prf.Precision, prf.Recall)
+	}
+}
+
+func TestPublicAPISerialization(t *testing.T) {
+	g := NewGraph(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	var buf bytes.Buffer
+	if err := WriteGraph(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(got) {
+		t.Fatal("graph round trip failed")
+	}
+
+	obs := NewObservations(3, 4)
+	obs.Set(1, 2, true)
+	buf.Reset()
+	if err := obs.WriteStatus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadObservations(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Get(1, 2) || back.Get(0, 0) {
+		t.Fatal("observation round trip failed")
+	}
+}
+
+func TestEstimateProbabilities(t *testing.T) {
+	g := NewGraph(6)
+	for i := 0; i+1 < 6; i++ {
+		g.AddEdge(i, i+1)
+	}
+	sim, err := Simulate(g, SimulationConfig{Alpha: 0.17, Beta: 1200, Mu: 0.6, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := EstimateProbabilities(sim.Statuses, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(est.Probs) != g.NumEdges() {
+		t.Fatalf("probabilities for %d edges, want %d", len(est.Probs), g.NumEdges())
+	}
+	for e, p := range est.Probs {
+		if p < 0.2 || p > 1 {
+			t.Fatalf("edge %v probability %.3f implausible for mu=0.6", e, p)
+		}
+	}
+}
+
+func TestPublicThresholdConstants(t *testing.T) {
+	g := NewGraph(6)
+	for i := 0; i+1 < 6; i++ {
+		g.AddEdge(i, i+1)
+		g.AddEdge(i+1, i)
+	}
+	sim, err := Simulate(g, SimulationConfig{Alpha: 0.17, Beta: 300, Mu: 0.4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, opt := range map[string]Options{
+		"auto":    {ThresholdMethod: ThresholdAuto},
+		"kmeans":  {ThresholdMethod: ThresholdKMeans},
+		"pernode": {ThresholdMethod: ThresholdKMeansPerNode},
+		"fdr":     {ThresholdMethod: ThresholdFDR},
+	} {
+		if _, err := Infer(sim.Statuses, opt); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
