@@ -9,6 +9,12 @@
 //	benchfig -all              # all figures (long!)
 //	benchfig -fig 4 -repeats 3 # average over 3 simulation repeats
 //	benchfig -fig 8 -csv out.csv
+//	benchfig -all -workers 8   # run up to 8 cells concurrently
+//
+// Each (point, repeat) workload is generated once and shared by every
+// compared algorithm; -workers bounds how many (point, repeat, algorithm)
+// cells run concurrently (0 = all CPUs). Results for a fixed -seed are
+// identical at any worker count, runtimes excepted.
 package main
 
 import (
@@ -33,6 +39,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "base RNG seed")
 		csvPath  = flag.String("csv", "", "also write raw measurements as CSV")
 		algos    = flag.String("algos", "", "comma-separated algorithm override, e.g. TENDS,NetInf,PATH")
+		workers  = flag.Int("workers", 0, "concurrent harness cells (0 = all CPUs, 1 = serial)")
 		quiet    = flag.Bool("quiet", false, "suppress per-cell progress output")
 	)
 	flag.Parse()
@@ -50,7 +57,7 @@ func main() {
 		}
 		return
 	}
-	if err := run(*figNum, *all, *repeats, *seed, *csvPath, *algos, *quiet); err != nil {
+	if err := run(*figNum, *all, *repeats, *seed, *csvPath, *algos, *quiet, *workers); err != nil {
 		fmt.Fprintf(os.Stderr, "benchfig: %v\n", err)
 		os.Exit(1)
 	}
@@ -154,7 +161,7 @@ func runAblation(name string, seed int64) error {
 	return nil
 }
 
-func run(figNum int, all bool, repeats int, seed int64, csvPath, algos string, quiet bool) error {
+func run(figNum int, all bool, repeats int, seed int64, csvPath, algos string, quiet bool, workers int) error {
 	figs := experiments.Figures()
 	var ids []int
 	switch {
@@ -188,7 +195,7 @@ func run(figNum int, all bool, repeats int, seed int64, csvPath, algos string, q
 		if algoOverride != nil {
 			fig = experiments.SelectAlgorithms(fig, algoOverride...)
 		}
-		ms, err := experiments.Run(fig, experiments.Config{Seed: seed, Repeats: repeats}, fileOrNil(progressW))
+		ms, err := experiments.Run(fig, experiments.Config{Seed: seed, Repeats: repeats, Workers: workers}, fileOrNil(progressW))
 		if err != nil {
 			return err
 		}

@@ -19,13 +19,13 @@ func TestParseAlgos(t *testing.T) {
 }
 
 func TestRunValidation(t *testing.T) {
-	if err := run(0, false, 1, 1, "", "", true); err == nil {
+	if err := run(0, false, 1, 1, "", "", true, 0); err == nil {
 		t.Fatal("no figure selected should fail")
 	}
-	if err := run(99, false, 1, 1, "", "", true); err == nil {
+	if err := run(99, false, 1, 1, "", "", true, 0); err == nil {
 		t.Fatal("unknown figure should fail")
 	}
-	if err := run(1, false, 1, 1, "", "bogus", true); err == nil {
+	if err := run(1, false, 1, 1, "", "bogus", true, 0); err == nil {
 		t.Fatal("bad -algos should fail before any work")
 	}
 }

@@ -4,7 +4,11 @@
 // Usage:
 //
 //	tends -in statuses.txt [-out graph.txt] [-combo 2] [-scale 1.0]
-//	      [-threshold t] [-mi] [-verbose]
+//	      [-threshold t] [-mi] [-workers n] [-verbose]
+//
+// -workers bounds the goroutines used by the IMI stage and the per-node
+// parent-set searches (0 = all CPUs, 1 = serial); the inferred topology is
+// identical for any worker count.
 //
 // The input format is the one produced by `diffsim` (and
 // diffusion.StatusMatrix.WriteStatus):

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"runtime"
 	"testing"
 
 	"tends/internal/graph"
@@ -15,6 +16,46 @@ func BenchmarkComputeIMI(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ComputeIMI(m, false)
+	}
+}
+
+// The acceptance-scale IMI benchmark (n=300), serial vs all-cores.
+func BenchmarkComputeIMI300Serial(b *testing.B) {
+	m := randomStatus(150, 300, 42)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ComputeIMIWorkers(m, false, 1)
+	}
+}
+
+func BenchmarkComputeIMI300Parallel(b *testing.B) {
+	m := randomStatus(150, 300, 42)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ComputeIMIWorkers(m, false, runtime.GOMAXPROCS(0))
+	}
+}
+
+// BenchmarkEnumerateCombos exercises the prefix-sharing DFS over a
+// realistic candidate pool (16 candidates, pairs and triples).
+func BenchmarkEnumerateCombos(b *testing.B) {
+	s := NewScorer(randomStatus(150, 200, 42))
+	cands := make([]int, 16)
+	for i := range cands {
+		cands[i] = 2 + 3*i
+	}
+	for _, size := range []int{2, 3} {
+		opt := Options{MaxComboSize: size}.withDefaults()
+		b.Run(map[int]string{2: "eta2", 3: "eta3"}[size], func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if combos := enumerateCombos(s, 0, cands, opt); len(combos) == 0 {
+					b.Fatal("no combinations enumerated")
+				}
+			}
+		})
 	}
 }
 

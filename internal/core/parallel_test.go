@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"tends/internal/graph"
+	"tends/internal/lfr"
 )
 
 // Parallel inference must produce bit-identical results to serial
@@ -34,6 +35,33 @@ func TestInferParallelDeterministic(t *testing.T) {
 			for j := range serial.Parents[i] {
 				if serial.Parents[i][j] != par.Parents[i][j] {
 					t.Fatalf("workers=%d: parent set of node %d differs", workers, i)
+				}
+			}
+		}
+	}
+}
+
+// The IMI matrix must be bit-identical for every worker count, for both
+// statistics, on a real LFR workload.
+func TestComputeIMIWorkersDeterministic(t *testing.T) {
+	res, err := lfr.GenerateBenchmark(1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm := simulateOn(t, res.Graph, 0.3, 0.15, 150, 17)
+	for _, traditional := range []bool{false, true} {
+		serial := ComputeIMIWorkers(sm, traditional, 1)
+		for _, workers := range []int{0, 2, 4, 16} {
+			par := ComputeIMIWorkers(sm, traditional, workers)
+			if par.N() != serial.N() {
+				t.Fatalf("workers=%d: n=%d, want %d", workers, par.N(), serial.N())
+			}
+			for i := 0; i < serial.N(); i++ {
+				for j := i + 1; j < serial.N(); j++ {
+					if par.At(i, j) != serial.At(i, j) {
+						t.Fatalf("traditional=%v workers=%d: IMI(%d,%d)=%v, serial %v",
+							traditional, workers, i, j, par.At(i, j), serial.At(i, j))
+					}
 				}
 			}
 		}

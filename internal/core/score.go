@@ -10,6 +10,7 @@ package core
 import (
 	"math"
 	"math/bits"
+	"sync"
 
 	"tends/internal/diffusion"
 )
@@ -28,7 +29,12 @@ type Scorer struct {
 	tail    uint64     // mask of valid bits in the last word
 	deltas  []float64  // Theorem-2 δ_i per node
 	ones    []int      // N₂ per node
+	logs    []float64  // logs[k] = log₂(k) for k in [0, β+1]; logs[0] unused
 	penalty PenaltyMode
+	// maskPool recycles the per-evaluation mask buffer of packedCombos;
+	// the scorer is shared by concurrent per-node searches, so the
+	// scratch cannot live on the struct directly.
+	maskPool sync.Pool
 }
 
 // PenaltyMode selects the statistical-error penalty of the local score.
@@ -68,6 +74,14 @@ func NewScorer(m *diffusion.StatusMatrix) *Scorer {
 		tail:   tail,
 		deltas: make([]float64, n),
 		ones:   make([]int, n),
+		logs:   make([]float64, beta+2),
+	}
+	for k := 1; k <= beta+1; k++ {
+		s.logs[k] = math.Log2(float64(k))
+	}
+	s.maskPool.New = func() any {
+		buf := make([]uint64, s.words)
+		return &buf
 	}
 	for v := 0; v < n; v++ {
 		col := make([]uint64, words)
@@ -119,6 +133,8 @@ type ScoreParts struct {
 func (p ScoreParts) Score() float64 { return p.LogLikelihood - p.Penalty }
 
 // addCombo folds one combination's (N_ij1, N_ij2) into the running parts.
+// This is the definitional form; the scoring hot paths use the scorer's
+// table-backed equivalent below, and tests check the two agree.
 func (p *ScoreParts) addCombo(k0, k1 int) {
 	nij := k0 + k1
 	if nij == 0 {
@@ -134,6 +150,27 @@ func (p *ScoreParts) addCombo(k0, k1 int) {
 	p.Observed++
 }
 
+// addCombo is the table-backed fold used by every scoring path: all counts
+// are integers in [0, β], so k·log₂(k/n) collapses to k·(logs[k] − logs[n])
+// and the penalty's log₂(n+1) to a lookup. The Log2 calls it replaces
+// dominate combination enumeration once masks are shared; the identity
+// changes rounding order only (~1 ulp vs ScoreParts.addCombo).
+func (s *Scorer) addCombo(parts *ScoreParts, k0, k1 int) {
+	nij := k0 + k1
+	if nij == 0 {
+		return
+	}
+	ln := s.logs[nij]
+	if k0 > 0 {
+		parts.LogLikelihood += float64(k0) * (s.logs[k0] - ln)
+	}
+	if k1 > 0 {
+		parts.LogLikelihood += float64(k1) * (s.logs[k1] - ln)
+	}
+	parts.Penalty += 0.5 * s.logs[nij+1]
+	parts.Observed++
+}
+
 // LocalScoreParts evaluates the local score components of parent set
 // parents for node child. An empty parent set reproduces Eq. (18).
 func (s *Scorer) LocalScoreParts(child int, parents []int) ScoreParts {
@@ -145,11 +182,24 @@ func (s *Scorer) LocalScoreParts(child int, parents []int) ScoreParts {
 	// Packed path: 2^k masked popcount scans. Worth it while the total
 	// word traffic 2^k·k·words stays below the per-process fallback's
 	// β·k steps with its hashing overhead.
-	if k <= 2 || (1<<uint(k))*s.words <= s.beta {
+	if s.packedWorthwhile(k) {
 		s.packedCombos(child, parents, &parts)
 	} else {
 		s.genericCombos(child, parents, &parts)
 	}
+	s.finishParts(k, &parts)
+	return parts
+}
+
+// packedWorthwhile reports whether the 2^k masked-popcount path beats the
+// per-process fallback for a parent set of size k.
+func (s *Scorer) packedWorthwhile(k int) bool {
+	return k <= 2 || (1<<uint(k))*s.words <= s.beta
+}
+
+// finishParts fills the derived fields of a score evaluation: φ_F and the
+// penalty-mode override.
+func (s *Scorer) finishParts(k int, parts *ScoreParts) {
 	parts.Phi = math.Exp2(float64(k)) - float64(parts.Observed)
 	switch s.penalty {
 	case PenaltyBIC:
@@ -157,7 +207,6 @@ func (s *Scorer) LocalScoreParts(child int, parents []int) ScoreParts {
 	case PenaltyNone:
 		parts.Penalty = 0
 	}
-	return parts
 }
 
 // packedCombos enumerates all 2^k parent-status combinations as bit masks.
@@ -166,10 +215,12 @@ func (s *Scorer) packedCombos(child int, parents []int, parts *ScoreParts) {
 	childCol := s.cols[child]
 	if k == 0 {
 		n1 := s.beta - s.ones[child]
-		parts.addCombo(n1, s.ones[child])
+		s.addCombo(parts, n1, s.ones[child])
 		return
 	}
-	mask := make([]uint64, s.words)
+	bufp := s.maskPool.Get().(*[]uint64)
+	defer s.maskPool.Put(bufp)
+	mask := *bufp
 	for combo := 0; combo < 1<<uint(k); combo++ {
 		for w := 0; w < s.words; w++ {
 			mask[w] = ^uint64(0)
@@ -192,7 +243,7 @@ func (s *Scorer) packedCombos(child int, parents []int, parts *ScoreParts) {
 			nij += bits.OnesCount64(mask[w])
 			k1 += bits.OnesCount64(mask[w] & childCol[w])
 		}
-		parts.addCombo(nij-k1, k1)
+		s.addCombo(parts, nij-k1, k1)
 	}
 }
 
@@ -222,8 +273,87 @@ func (s *Scorer) genericCombos(child int, parents []int, parts *ScoreParts) {
 		counts[key] = cc
 	}
 	for _, cc := range counts {
-		parts.addCombo(cc[0], cc[1])
+		s.addCombo(parts, cc[0], cc[1])
 	}
+}
+
+// comboScratch is the reusable mask tree of a combination-enumeration
+// DFS. Level d stores the 2^d parent-status masks of the current depth-d
+// combination, flat and combo-major, so extending the DFS by one candidate
+// derives level d from level d-1 with a single AND/ANDNOT per mask instead
+// of rebuilding every mask from all d columns per combination.
+type comboScratch struct {
+	levels [][]uint64
+}
+
+// newComboScratch sizes a scratch for combinations of up to maxSize
+// parents. Depths past the packed/generic crossover are never
+// materialized — the enumeration scores those via the per-process
+// fallback, which needs no masks — so the total footprint stays bounded
+// by O(maxSize·β) bits.
+func (s *Scorer) newComboScratch(maxSize int) *comboScratch {
+	lim := 0
+	for lim < maxSize && s.packedWorthwhile(lim+1) {
+		lim++
+	}
+	sc := &comboScratch{levels: make([][]uint64, lim+1)}
+	for d := 0; d <= lim; d++ {
+		sc.levels[d] = make([]uint64, (1<<uint(d))*s.words)
+	}
+	// Level 0: the single all-processes mask.
+	lvl0 := sc.levels[0]
+	for w := range lvl0 {
+		lvl0[w] = ^uint64(0)
+	}
+	if s.words > 0 {
+		lvl0[s.words-1] = s.tail
+	}
+	return sc
+}
+
+// packedLimit returns the deepest level the scratch materializes.
+func (sc *comboScratch) packedLimit() int { return len(sc.levels) - 1 }
+
+// extend derives level d's masks from level d-1 by splitting every mask on
+// the status column of the newly added parent. The new parent occupies the
+// high combo-index bit (clear half first, set half second), which is
+// exactly packedCombos' combo numbering — so scores folded from a level
+// match packedCombos bit for bit, float summation order included.
+func (sc *comboScratch) extend(s *Scorer, d, parent int) {
+	src := sc.levels[d-1]
+	dst := sc.levels[d]
+	col := s.cols[parent]
+	words := s.words
+	half := (1 << uint(d-1)) * words
+	for i := 0; i < 1<<uint(d-1); i++ {
+		sm := src[i*words : (i+1)*words]
+		d0 := dst[i*words : (i+1)*words]
+		d1 := dst[half+i*words : half+(i+1)*words]
+		for w := 0; w < words; w++ {
+			d0[w] = sm[w] &^ col[w]
+			d1[w] = sm[w] & col[w]
+		}
+	}
+}
+
+// scoreLevel folds the 2^k masks of a scratch level into the score parts
+// for child, equivalent to LocalScoreParts on the parent set the level
+// encodes but without rebuilding any mask.
+func (s *Scorer) scoreLevel(child int, level []uint64, k int) ScoreParts {
+	var parts ScoreParts
+	childCol := s.cols[child]
+	words := s.words
+	for c := 0; c < 1<<uint(k); c++ {
+		mask := level[c*words : (c+1)*words : (c+1)*words]
+		nij, k1 := 0, 0
+		for w := 0; w < words; w++ {
+			nij += bits.OnesCount64(mask[w])
+			k1 += bits.OnesCount64(mask[w] & childCol[w])
+		}
+		s.addCombo(&parts, nij-k1, k1)
+	}
+	s.finishParts(k, &parts)
+	return parts
 }
 
 // LocalScore is Eq. (13): g(v_i, F_i).

@@ -153,7 +153,7 @@ func Infer(sm *diffusion.StatusMatrix, opt Options) (*Result, error) {
 		return nil, fmt.Errorf("core: ThresholdScale must be non-negative, got %v", opt.ThresholdScale)
 	}
 
-	imi := ComputeIMI(sm, opt.TraditionalMI)
+	imi := ComputeIMIWorkers(sm, opt.TraditionalMI, opt.Workers)
 	var autoTau float64
 	switch opt.ThresholdMethod {
 	case ThresholdAuto:
@@ -301,18 +301,35 @@ type combo struct {
 // enumerateCombos lists every combination W ⊆ cands with |W| ≤ MaxComboSize
 // that satisfies the Theorem-2 size condition |W| ≤ log₂(φ_W + δ_i)
 // (Algorithm 1 line 13), along with its local score.
+//
+// Scoring shares work along the DFS: the 2^d status masks of the current
+// combination are derived incrementally from its (d-1)-prefix's masks in a
+// comboScratch, one AND/ANDNOT per mask, instead of rebuilding every mask
+// from all d columns per combination as a fresh LocalScoreParts call
+// would. Past the packed/generic crossover the per-process fallback takes
+// over unchanged.
 func enumerateCombos(s *Scorer, child int, cands []int, opt Options) []combo {
 	var out []combo
 	maxSize := opt.MaxComboSize
 	if maxSize > len(cands) {
 		maxSize = len(cands)
 	}
+	if maxSize < 1 {
+		return nil
+	}
+	sc := s.newComboScratch(maxSize)
+	packedLim := sc.packedLimit()
 	cur := make([]int, 0, maxSize)
 	var rec func(start int)
 	rec = func(start int) {
-		if len(cur) > 0 {
-			parts := s.LocalScoreParts(child, cur)
-			if opt.DisableBound || s.BoundHolds(child, len(cur), parts.Phi) {
+		if d := len(cur); d > 0 {
+			var parts ScoreParts
+			if d <= packedLim {
+				parts = s.scoreLevel(child, sc.levels[d], d)
+			} else {
+				parts = s.LocalScoreParts(child, cur)
+			}
+			if opt.DisableBound || s.BoundHolds(child, d, parts.Phi) {
 				out = append(out, combo{nodes: append([]int(nil), cur...), score: parts.Score()})
 			} else {
 				// Supersets only get larger; Theorem 2 will reject them
@@ -326,6 +343,9 @@ func enumerateCombos(s *Scorer, child int, cands []int, opt Options) []combo {
 		}
 		for k := start; k < len(cands); k++ {
 			cur = append(cur, cands[k])
+			if d := len(cur); d <= packedLim {
+				sc.extend(s, d, cands[k])
+			}
 			rec(k + 1)
 			cur = cur[:len(cur)-1]
 		}

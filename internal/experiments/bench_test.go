@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"runtime"
+	"testing"
+
+	"tends/internal/graph"
+)
+
+// benchFigure is a harness-scale workload: several points × several
+// status-only algorithms, so both the shared-workload reuse and the cell
+// pool show up in the numbers.
+func benchFigure() Figure {
+	network := func(seed int64) (*graph.Directed, error) {
+		g := graph.Chain(40)
+		g.Symmetrize()
+		return g, nil
+	}
+	fig := Figure{
+		ID:         "FigBench",
+		Title:      "harness benchmark",
+		Algorithms: []Algorithm{AlgoTENDS, AlgoTENDSMI, AlgoLIFT, AlgoPATH},
+	}
+	for _, beta := range []int{60, 90, 120} {
+		fig.Points = append(fig.Points, Point{
+			Label:    "b" + string(rune('0'+beta/30)),
+			Workload: Workload{Network: network, Mu: 0.35, Alpha: 0.1, Beta: beta},
+		})
+	}
+	return fig
+}
+
+func benchmarkHarness(b *testing.B, workers int) {
+	fig := benchFigure()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ms, err := Run(fig, Config{Seed: int64(i + 1), Repeats: 2, Workers: workers}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, m := range ms {
+			if m.Err != nil {
+				b.Fatalf("%s/%s: %v", m.Point, m.Algorithm, m.Err)
+			}
+		}
+	}
+}
+
+// BenchmarkHarnessWorkers1 runs the harness serially; together with
+// BenchmarkHarnessWorkersMax it measures the cell-pool scaling (and, vs
+// the pre-shared-workload harness, the once-per-(point,repeat) generation
+// win even at one worker).
+func BenchmarkHarnessWorkers1(b *testing.B) { benchmarkHarness(b, 1) }
+
+func BenchmarkHarnessWorkersMax(b *testing.B) { benchmarkHarness(b, runtime.GOMAXPROCS(0)) }

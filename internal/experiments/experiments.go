@@ -10,6 +10,9 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"tends/internal/baselines/lift"
@@ -85,71 +88,208 @@ type Measurement struct {
 	Precision float64
 	Recall    float64
 	Runtime   time.Duration
-	Err       error
+	// Completed counts the repeats that produced a score; FailedRepeats
+	// the ones that errored. Err keeps the first failure even when later
+	// repeats succeed, so a partially failed cell — whose means silently
+	// cover fewer repeats — stays visible instead of averaging away.
+	Completed     int
+	FailedRepeats int
+	Err           error
 }
 
 // Config controls a harness run.
 type Config struct {
-	Seed    int64 // base RNG seed; every point derives its own stream
+	Seed    int64 // base RNG seed; every (point, repeat) derives its own stream
 	Repeats int   // simulation repeats averaged per point; 0 means 1
+	// Workers bounds the number of (point, repeat, algorithm) cells
+	// executed concurrently. 0 means GOMAXPROCS; 1 forces serial
+	// execution. Workloads, seeds, and output ordering are independent of
+	// the worker count, so results for a fixed seed are identical (up to
+	// measured wall-clock runtimes) at any setting.
+	Workers int
+}
+
+// sharedWorkload generates a (point, repeat) workload — the network plus
+// its simulated cascades — exactly once, however many algorithm cells
+// share it. The old harness regenerated the identical workload once per
+// compared algorithm.
+type sharedWorkload struct {
+	once sync.Once
+	g    *graph.Directed
+	sim  *diffusion.Result
+	err  error
+}
+
+func (wl *sharedWorkload) get(w Workload, seed int64) (*graph.Directed, *diffusion.Result, error) {
+	wl.once.Do(func() {
+		g, err := w.Network(seed)
+		if err != nil {
+			wl.err = fmt.Errorf("network: %w", err)
+			return
+		}
+		sim, err := simulate(g, w.Mu, w.Alpha, w.Beta, seed)
+		if err != nil {
+			wl.err = fmt.Errorf("simulate: %w", err)
+			return
+		}
+		wl.g, wl.sim = g, sim
+	})
+	return wl.g, wl.sim, wl.err
 }
 
 // Run executes a figure and returns its measurements in point-major order.
+// Cells run concurrently per Config.Workers; progress lines still stream
+// in point-major order, each emitted as soon as every cell before it has
+// finished.
 func Run(fig Figure, cfg Config, progress io.Writer) ([]Measurement, error) {
 	if cfg.Repeats <= 0 {
 		cfg.Repeats = 1
 	}
-	var out []Measurement
-	for pi, pt := range fig.Points {
-		for _, algo := range fig.Algorithms {
-			meas := Measurement{Figure: fig.ID, Point: pt.Label, Algorithm: algo}
-			var fs []float64
-			var pSum, rSum float64
-			var tSum time.Duration
-			for rep := 0; rep < cfg.Repeats; rep++ {
-				seed := cfg.Seed + int64(pi*1000+rep)
-				prf, dur, err := runOnce(pt, algo, seed)
-				if err != nil {
-					meas.Err = err
-					continue
+	nP, nA, nR := len(fig.Points), len(fig.Algorithms), cfg.Repeats
+	nCells := nP * nA
+	if nCells == 0 {
+		return nil, nil
+	}
+	tasks := nCells * nR
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > tasks {
+		workers = tasks
+	}
+
+	// One lazily generated workload per (point, repeat), shared by every
+	// algorithm cell at that coordinate.
+	wls := make([]sharedWorkload, nP*nR)
+
+	type repResult struct {
+		prf metrics.PRF
+		dur time.Duration
+		err error
+	}
+	// Task ti ↦ (point pi, algorithm ai, repeat rep), cell-major so that a
+	// cell's repeats are contiguous: ti = (pi*nA+ai)*nR + rep.
+	results := make([]repResult, tasks)
+	remaining := make([]int32, nCells) // unfinished repeats per cell
+	for ci := range remaining {
+		remaining[ci] = int32(nR)
+	}
+	ms := make([]Measurement, nCells)
+
+	emit := &orderedEmitter{progress: progress, figID: fig.ID, ready: make([]bool, nCells)}
+
+	aggregate := func(ci int) {
+		pi, ai := ci/nA, ci%nA
+		meas := Measurement{Figure: fig.ID, Point: fig.Points[pi].Label, Algorithm: fig.Algorithms[ai]}
+		var fs []float64
+		var pSum, rSum float64
+		var tSum time.Duration
+		for rep := 0; rep < nR; rep++ {
+			r := &results[ci*nR+rep]
+			if r.err != nil {
+				if meas.Err == nil {
+					meas.Err = r.err
 				}
-				fs = append(fs, prf.F)
-				pSum += prf.Precision
-				rSum += prf.Recall
-				tSum += dur
+				meas.FailedRepeats++
+				continue
 			}
-			if len(fs) > 0 {
-				ok := float64(len(fs))
-				meas.F = stats.Mean(fs)
-				meas.FStd = stats.StdDev(fs)
-				meas.Precision = pSum / ok
-				meas.Recall = rSum / ok
-				meas.Runtime = tSum / time.Duration(len(fs))
-				meas.Err = nil
-			}
-			out = append(out, meas)
-			if progress != nil {
-				if meas.Err != nil {
-					fmt.Fprintf(progress, "%s %-12s %-10s ERROR: %v\n", fig.ID, pt.Label, algo, meas.Err)
-				} else {
-					fmt.Fprintf(progress, "%s %-12s %-10s F=%.3f time=%v\n", fig.ID, pt.Label, algo, meas.F, meas.Runtime)
-				}
-			}
+			fs = append(fs, r.prf.F)
+			pSum += r.prf.Precision
+			rSum += r.prf.Recall
+			tSum += r.dur
+		}
+		meas.Completed = len(fs)
+		if len(fs) > 0 {
+			ok := float64(len(fs))
+			meas.F = stats.Mean(fs)
+			meas.FStd = stats.StdDev(fs)
+			meas.Precision = pSum / ok
+			meas.Recall = rSum / ok
+			meas.Runtime = tSum / time.Duration(len(fs))
+		}
+		ms[ci] = meas
+	}
+
+	runTask := func(ti int) {
+		ci := ti / nR
+		rep := ti % nR
+		pi, ai := ci/nA, ci%nA
+		pt := &fig.Points[pi]
+		r := &results[ti]
+		g, sim, err := wls[pi*nR+rep].get(pt.Workload, cellSeed(cfg.Seed, pi, rep))
+		if err != nil {
+			r.err = err
+		} else {
+			r.prf, r.dur, r.err = runAlgo(pt, fig.Algorithms[ai], g, sim)
+		}
+		if atomic.AddInt32(&remaining[ci], -1) == 0 {
+			aggregate(ci)
+			emit.markDone(ci, ms)
 		}
 	}
-	return out, nil
+
+	if workers <= 1 {
+		for ti := 0; ti < tasks; ti++ {
+			runTask(ti)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					ti := int(next.Add(1)) - 1
+					if ti >= tasks {
+						return
+					}
+					runTask(ti)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	return ms, nil
 }
 
-// runOnce generates the workload for a point and times one algorithm on it.
-func runOnce(pt Point, algo Algorithm, seed int64) (metrics.PRF, time.Duration, error) {
-	g, err := pt.Workload.Network(seed)
-	if err != nil {
-		return metrics.PRF{}, 0, fmt.Errorf("network: %w", err)
+// orderedEmitter streams per-cell progress lines in point-major order
+// regardless of the order cells actually finish in: a completed cell's
+// line is held until every earlier cell has been emitted.
+type orderedEmitter struct {
+	progress io.Writer
+	figID    string
+	mu       sync.Mutex
+	ready    []bool
+	emitted  int
+}
+
+func (e *orderedEmitter) markDone(ci int, ms []Measurement) {
+	if e.progress == nil {
+		return
 	}
-	sim, err := simulate(g, pt.Workload.Mu, pt.Workload.Alpha, pt.Workload.Beta, seed)
-	if err != nil {
-		return metrics.PRF{}, 0, fmt.Errorf("simulate: %w", err)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.ready[ci] = true
+	for e.emitted < len(e.ready) && e.ready[e.emitted] {
+		m := &ms[e.emitted]
+		switch {
+		case m.Completed == 0 && m.Err != nil:
+			fmt.Fprintf(e.progress, "%s %-12s %-10s ERROR: %v\n", e.figID, m.Point, m.Algorithm, m.Err)
+		case m.FailedRepeats > 0:
+			fmt.Fprintf(e.progress, "%s %-12s %-10s F=%.3f time=%v (%d/%d repeats failed, first: %v)\n",
+				e.figID, m.Point, m.Algorithm, m.F, m.Runtime,
+				m.FailedRepeats, m.Completed+m.FailedRepeats, m.Err)
+		default:
+			fmt.Fprintf(e.progress, "%s %-12s %-10s F=%.3f time=%v\n", e.figID, m.Point, m.Algorithm, m.F, m.Runtime)
+		}
+		e.emitted++
 	}
+}
+
+// runAlgo times one algorithm on a pre-generated workload.
+func runAlgo(pt *Point, algo Algorithm, g *graph.Directed, sim *diffusion.Result) (metrics.PRF, time.Duration, error) {
 	start := time.Now()
 	var prf metrics.PRF
 	switch algo {

@@ -2,7 +2,10 @@ package experiments
 
 import (
 	"bytes"
+	"errors"
+	"fmt"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"tends/internal/graph"
@@ -88,6 +91,184 @@ func TestRunRepeatsAveraged(t *testing.T) {
 	}
 	if len(ms) != 1 || ms[0].Err != nil {
 		t.Fatalf("unexpected: %+v", ms)
+	}
+}
+
+// sameMeasurements compares two measurement slices field by field,
+// ignoring Runtime (wall clock is never reproducible).
+func sameMeasurements(t *testing.T, a, b []Measurement) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("length mismatch: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		x, y := a[i], b[i]
+		if x.Figure != y.Figure || x.Point != y.Point || x.Algorithm != y.Algorithm {
+			t.Fatalf("cell %d ordering differs: %s/%s/%s vs %s/%s/%s",
+				i, x.Figure, x.Point, x.Algorithm, y.Figure, y.Point, y.Algorithm)
+		}
+		if x.F != y.F || x.FStd != y.FStd || x.Precision != y.Precision || x.Recall != y.Recall {
+			t.Fatalf("cell %d scores differ: %+v vs %+v", i, x, y)
+		}
+		if x.Completed != y.Completed || x.FailedRepeats != y.FailedRepeats {
+			t.Fatalf("cell %d repeat accounting differs: %+v vs %+v", i, x, y)
+		}
+		if (x.Err == nil) != (y.Err == nil) {
+			t.Fatalf("cell %d error presence differs: %v vs %v", i, x.Err, y.Err)
+		}
+	}
+}
+
+// The harness must produce identical measurements — values and order — at
+// every worker count, on a seeded LFR workload.
+func TestRunWorkersDeterministic(t *testing.T) {
+	fig := Figure{
+		ID:         "FigDet",
+		Title:      "worker determinism",
+		Algorithms: []Algorithm{AlgoTENDS, AlgoLIFT},
+		Points: []Point{
+			{Label: "lfr-b60", Workload: Workload{Network: lfrNetwork(1), Mu: 0.3, Alpha: 0.15, Beta: 60}},
+			{Label: "lfr-b90", Workload: Workload{Network: lfrNetwork(1), Mu: 0.3, Alpha: 0.15, Beta: 90}},
+		},
+	}
+	serial, err := Run(fig, Config{Seed: 11, Repeats: 2, Workers: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 4, 16} {
+		par, err := Run(fig, Config{Seed: 11, Repeats: 2, Workers: workers}, nil)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		sameMeasurements(t, serial, par)
+	}
+}
+
+// Progress lines must stream in point-major order at any worker count.
+func TestRunProgressOrderParallel(t *testing.T) {
+	fig := tinyFigure([]Algorithm{AlgoTENDS, AlgoLIFT})
+	var serialBuf, parBuf bytes.Buffer
+	if _, err := Run(fig, Config{Seed: 3, Workers: 1}, &serialBuf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(fig, Config{Seed: 3, Workers: 8}, &parBuf); err != nil {
+		t.Fatal(err)
+	}
+	stripTimes := func(s string) []string {
+		var out []string
+		for _, line := range strings.Split(strings.TrimSpace(s), "\n") {
+			if i := strings.Index(line, "time="); i >= 0 {
+				line = line[:i]
+			}
+			out = append(out, line)
+		}
+		return out
+	}
+	a, b := stripTimes(serialBuf.String()), stripTimes(parBuf.String())
+	if len(a) != len(b) {
+		t.Fatalf("line counts differ: %d vs %d\n%s\n---\n%s", len(a), len(b), serialBuf.String(), parBuf.String())
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("progress line %d differs:\n serial: %q\n parallel: %q", i, a[i], b[i])
+		}
+	}
+}
+
+// Each (point, repeat) workload must be generated exactly once, no matter
+// how many algorithms share it or how many workers run.
+func TestRunGeneratesWorkloadOncePerCell(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		var calls atomic.Int32
+		network := func(seed int64) (*graph.Directed, error) {
+			calls.Add(1)
+			g := graph.Chain(12)
+			g.Symmetrize()
+			return g, nil
+		}
+		fig := Figure{
+			ID:         "FigOnce",
+			Algorithms: []Algorithm{AlgoTENDS, AlgoTENDSMI, AlgoLIFT},
+			Points: []Point{
+				{Label: "p1", Workload: Workload{Network: network, Mu: 0.4, Alpha: 0.1, Beta: 40}},
+				{Label: "p2", Workload: Workload{Network: network, Mu: 0.4, Alpha: 0.1, Beta: 60}},
+			},
+		}
+		ms, err := Run(fig, Config{Seed: 1, Repeats: 2, Workers: workers}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range ms {
+			if m.Err != nil {
+				t.Fatalf("%s/%s: %v", m.Point, m.Algorithm, m.Err)
+			}
+		}
+		if got, want := calls.Load(), int32(2*2); got != want {
+			t.Fatalf("workers=%d: network generated %d times, want %d (points × repeats)", workers, got, want)
+		}
+	}
+}
+
+// A failed repeat must stay visible — first error kept, failure counted —
+// while later successful repeats still contribute to the means.
+func TestRunPartialFailureKeepsError(t *testing.T) {
+	base := int64(5)
+	badSeed := cellSeed(base, 0, 1) // fail exactly repeat 1 of point 0
+	network := func(seed int64) (*graph.Directed, error) {
+		if seed == badSeed {
+			return nil, errors.New("injected network failure")
+		}
+		g := graph.Chain(12)
+		g.Symmetrize()
+		return g, nil
+	}
+	fig := Figure{
+		ID:         "FigFail",
+		Algorithms: []Algorithm{AlgoTENDS},
+		Points:     []Point{{Label: "p1", Workload: Workload{Network: network, Mu: 0.4, Alpha: 0.1, Beta: 60}}},
+	}
+	for _, workers := range []int{1, 4} {
+		var buf bytes.Buffer
+		ms, err := Run(fig, Config{Seed: base, Repeats: 3, Workers: workers}, &buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := ms[0]
+		if m.Err == nil || !strings.Contains(m.Err.Error(), "injected network failure") {
+			t.Fatalf("workers=%d: first error not kept: %v", workers, m.Err)
+		}
+		if m.FailedRepeats != 1 || m.Completed != 2 {
+			t.Fatalf("workers=%d: accounting = %d failed / %d completed, want 1/2", workers, m.FailedRepeats, m.Completed)
+		}
+		if m.Runtime <= 0 {
+			t.Fatalf("workers=%d: surviving repeats not averaged", workers)
+		}
+		if !strings.Contains(buf.String(), "1/3 repeats failed") {
+			t.Fatalf("workers=%d: progress line missing failure report:\n%s", workers, buf.String())
+		}
+	}
+}
+
+// Per-cell seeds must be unique across the whole (point, repeat) grid; the
+// old base+point*1000+repeat derivation collided once Repeats hit 1000.
+func TestCellSeedNoCollisions(t *testing.T) {
+	for _, base := range []int64{0, 1, -42} {
+		seen := make(map[int64]string, 10*2000)
+		for pi := 0; pi < 10; pi++ {
+			for rep := 0; rep < 2000; rep++ {
+				s := cellSeed(base, pi, rep)
+				key := fmt.Sprintf("point %d repeat %d", pi, rep)
+				if prev, dup := seen[s]; dup {
+					t.Fatalf("base %d: seed collision between %s and %s", base, prev, key)
+				}
+				seen[s] = key
+			}
+		}
+	}
+	// The exact collision of the old scheme: (point 0, repeat 1000) vs
+	// (point 1, repeat 0).
+	if cellSeed(7, 0, 1000) == cellSeed(7, 1, 0) {
+		t.Fatal("old-style seed collision survived the SplitMix64 derivation")
 	}
 }
 
