@@ -10,18 +10,34 @@
 //	benchfig -fig 4 -repeats 3 # average over 3 simulation repeats
 //	benchfig -fig 8 -csv out.csv
 //	benchfig -all -workers 8   # run up to 8 cells concurrently
+//	benchfig -fig 1 -checkpoint run.jsonl   # journal completed cells
+//	benchfig -fig 1 -resume run.jsonl       # skip cells already journaled
 //
 // Each (point, repeat) workload is generated once and shared by every
 // compared algorithm; -workers bounds how many (point, repeat, algorithm)
 // cells run concurrently (0 = all CPUs). Results for a fixed -seed are
 // identical at any worker count, runtimes excepted.
+//
+// The harness is fault tolerant: a panicking or failing algorithm run is
+// contained to its cell (rendered ERR, retried per -retries), -cell-timeout
+// bounds each cell's runtime, and SIGINT/SIGTERM cancels the sweep cleanly —
+// in-flight cells are drained, the checkpoint journal and partial output are
+// flushed, and the process exits with status 130. A later -resume run
+// restores journaled cells and reproduces the uninterrupted tables for the
+// rest. Exit status: 0 success, 1 error, 3 completed but some cells never
+// produced a score, 130 interrupted.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"tends/internal/datasets"
@@ -29,38 +45,75 @@ import (
 	"tends/internal/graph"
 )
 
+// Exit codes of the benchfig process.
+const (
+	exitOK          = 0
+	exitErr         = 1
+	exitFailedCells = 3   // sweep completed, but some cells never produced a score
+	exitInterrupted = 130 // cancelled by SIGINT/SIGTERM (128 + SIGINT)
+)
+
+// runOpts carries the flag values of one benchfig invocation.
+type runOpts struct {
+	figNum      int
+	all         bool
+	repeats     int
+	seed        int64
+	csvPath     string
+	algos       string
+	quiet       bool
+	workers     int
+	cellTimeout time.Duration
+	retries     int
+	checkpoint  string
+	resume      string
+}
+
 func main() {
+	var o runOpts
 	var (
-		figNum   = flag.Int("fig", 0, "figure number to regenerate (1..11)")
-		all      = flag.Bool("all", false, "regenerate every figure")
 		ablation = flag.String("ablation", "", "run an ablation instead: threshold, greedy, pruning, penalty, treemodel")
 		ext      = flag.String("ext", "", "run an extension study instead: noise, missing, mismatch, timestamps")
-		repeats  = flag.Int("repeats", 1, "simulation repeats averaged per point")
-		seed     = flag.Int64("seed", 1, "base RNG seed")
-		csvPath  = flag.String("csv", "", "also write raw measurements as CSV")
-		algos    = flag.String("algos", "", "comma-separated algorithm override, e.g. TENDS,NetInf,PATH")
-		workers  = flag.Int("workers", 0, "concurrent harness cells (0 = all CPUs, 1 = serial)")
-		quiet    = flag.Bool("quiet", false, "suppress per-cell progress output")
 	)
+	flag.IntVar(&o.figNum, "fig", 0, "figure number to regenerate (1..11)")
+	flag.BoolVar(&o.all, "all", false, "regenerate every figure")
+	flag.IntVar(&o.repeats, "repeats", 1, "simulation repeats averaged per point")
+	flag.Int64Var(&o.seed, "seed", 1, "base RNG seed")
+	flag.StringVar(&o.csvPath, "csv", "", "also write raw measurements as CSV")
+	flag.StringVar(&o.algos, "algos", "", "comma-separated algorithm override, e.g. TENDS,NetInf,PATH")
+	flag.IntVar(&o.workers, "workers", 0, "concurrent harness cells (0 = all CPUs, 1 = serial)")
+	flag.BoolVar(&o.quiet, "quiet", false, "suppress per-cell progress output")
+	flag.DurationVar(&o.cellTimeout, "cell-timeout", 0, "per-cell algorithm deadline, e.g. 2m (0 = none)")
+	flag.IntVar(&o.retries, "retries", 0, "re-run a failed cell repeat up to this many times with fresh derived seeds")
+	flag.StringVar(&o.checkpoint, "checkpoint", "", "append completed cells to this JSONL journal")
+	flag.StringVar(&o.resume, "resume", "", "restore completed cells from this JSONL journal and continue it")
 	flag.Parse()
+
 	if *ablation != "" {
-		if err := runAblation(*ablation, *seed); err != nil {
+		if err := runAblation(*ablation, o.seed); err != nil {
 			fmt.Fprintf(os.Stderr, "benchfig: %v\n", err)
-			os.Exit(1)
+			os.Exit(exitErr)
 		}
 		return
 	}
 	if *ext != "" {
-		if err := runExtension(*ext, *seed); err != nil {
+		if err := runExtension(*ext, o.seed); err != nil {
 			fmt.Fprintf(os.Stderr, "benchfig: %v\n", err)
-			os.Exit(1)
+			os.Exit(exitErr)
 		}
 		return
 	}
-	if err := run(*figNum, *all, *repeats, *seed, *csvPath, *algos, *quiet, *workers); err != nil {
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	code, err := run(ctx, o)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchfig: %v\n", err)
-		os.Exit(1)
+		if code == exitOK {
+			code = exitErr
+		}
 	}
+	os.Exit(code)
 }
 
 // parseAlgos turns a comma-separated override like "TENDS,NetInf,PATH" into
@@ -96,7 +149,7 @@ func parseAlgos(spec string) ([]experiments.Algorithm, error) {
 // runExtension executes one of the robustness extension studies (DESIGN.md
 // §6) on the NetSci-stand-in workload.
 func runExtension(name string, seed int64) error {
-	network := func(s int64) (*graph.Directed, error) { return datasets.NetSci(s), nil }
+	network := func(s int64) (*graph.Directed, error) { return datasets.NetSci(s) }
 	var (
 		points []experiments.ExtensionPoint
 		err    error
@@ -129,7 +182,7 @@ func runExtension(name string, seed int64) error {
 // NetSci-stand-in workload at the paper's default settings.
 func runAblation(name string, seed int64) error {
 	w, err := experiments.NewAblationWorkload(
-		func(s int64) (*graph.Directed, error) { return datasets.NetSci(s), nil },
+		func(s int64) (*graph.Directed, error) { return datasets.NetSci(s) },
 		0.3, 0.15, 150, seed)
 	if err != nil {
 		return err
@@ -161,70 +214,165 @@ func runAblation(name string, seed int64) error {
 	return nil
 }
 
-func run(figNum int, all bool, repeats int, seed int64, csvPath, algos string, quiet bool, workers int) error {
+// loadResume reads a checkpoint journal and validates its header against
+// the run's seed and repeats, so restored cells can never silently mix with
+// freshly computed ones from a different configuration.
+func loadResume(path string, seed int64, repeats int) (map[experiments.CellKey]experiments.Measurement, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	header, cells, warnings, err := experiments.LoadJournal(f)
+	for _, w := range warnings {
+		fmt.Fprintf(os.Stderr, "benchfig: %s: %s\n", path, w)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("resume %s: %w", path, err)
+	}
+	if header.Seed != seed || header.Repeats != repeats {
+		return nil, fmt.Errorf("resume %s: journal was written with seed %d, repeats %d; run has seed %d, repeats %d",
+			path, header.Seed, header.Repeats, seed, repeats)
+	}
+	return cells, nil
+}
+
+func run(ctx context.Context, o runOpts) (int, error) {
 	figs := experiments.Figures()
 	var ids []int
 	switch {
-	case all:
+	case o.all:
 		ids = experiments.FigureIDs()
-	case figNum != 0:
-		if _, ok := figs[figNum]; !ok {
-			return fmt.Errorf("unknown figure %d (have 1..11)", figNum)
+	case o.figNum != 0:
+		if _, ok := figs[o.figNum]; !ok {
+			return exitErr, fmt.Errorf("unknown figure %d (have 1..11)", o.figNum)
 		}
-		ids = []int{figNum}
+		ids = []int{o.figNum}
 	default:
-		return fmt.Errorf("one of -fig or -all is required")
+		return exitErr, fmt.Errorf("one of -fig or -all is required")
 	}
 	var algoOverride []experiments.Algorithm
-	if algos != "" {
+	if o.algos != "" {
 		var err error
-		algoOverride, err = parseAlgos(algos)
+		algoOverride, err = parseAlgos(o.algos)
 		if err != nil {
-			return err
+			return exitErr, err
+		}
+	}
+	repeats := o.repeats
+	if repeats <= 0 {
+		repeats = 1
+	}
+	if o.resume != "" && o.checkpoint != "" && o.checkpoint != o.resume {
+		return exitErr, fmt.Errorf("-checkpoint %s conflicts with -resume %s: a resumed run continues its own journal", o.checkpoint, o.resume)
+	}
+
+	var resumeCells map[experiments.CellKey]experiments.Measurement
+	if o.resume != "" {
+		var err error
+		resumeCells, err = loadResume(o.resume, o.seed, repeats)
+		if err != nil {
+			return exitErr, err
 		}
 	}
 
-	progress := os.Stderr
-	var progressW *os.File
-	if !quiet {
-		progressW = progress
+	// The checkpoint journal: continued in place on -resume (restored cells
+	// are only recorded there, so a second journal would be incomplete),
+	// started fresh on -checkpoint alone.
+	var journal *experiments.Journal
+	switch {
+	case o.resume != "":
+		f, err := os.OpenFile(o.resume, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return exitErr, err
+		}
+		defer f.Close()
+		journal = experiments.ResumeJournal(f)
+	case o.checkpoint != "":
+		f, err := os.Create(o.checkpoint)
+		if err != nil {
+			return exitErr, err
+		}
+		defer f.Close()
+		journal, err = experiments.NewJournal(f, o.seed, repeats)
+		if err != nil {
+			return exitErr, err
+		}
+	}
+
+	var progress io.Writer
+	if !o.quiet {
+		progress = os.Stderr
 	}
 	var allMeasurements []experiments.Measurement
+	var total experiments.RunStats
+	interrupted := false
 	for _, id := range ids {
 		fig := figs[id]
 		if algoOverride != nil {
 			fig = experiments.SelectAlgorithms(fig, algoOverride...)
 		}
-		ms, err := experiments.Run(fig, experiments.Config{Seed: seed, Repeats: repeats, Workers: workers}, fileOrNil(progressW))
-		if err != nil {
-			return err
+		cfg := experiments.Config{
+			Seed:        o.seed,
+			Repeats:     o.repeats,
+			Workers:     o.workers,
+			CellTimeout: o.cellTimeout,
+			Retries:     o.retries,
+			Checkpoint:  journal,
+			Resume:      resumeCells,
 		}
+		ms, rs, err := experiments.RunContext(ctx, fig, cfg, progress)
+		if err != nil && !errors.Is(err, context.Canceled) {
+			return exitErr, err
+		}
+		interrupted = interrupted || err != nil
+		total.Cells += rs.Cells
+		total.Restored += rs.Restored
+		total.FailedCells += rs.FailedCells
+		total.CancelledCells += rs.CancelledCells
+		total.Retried += rs.Retried
+		total.Recovered += rs.Recovered
 		if err := experiments.WriteTable(os.Stdout, fig, ms); err != nil {
-			return err
+			return exitErr, err
 		}
 		allMeasurements = append(allMeasurements, ms...)
+		if interrupted {
+			break
+		}
 	}
-	if csvPath != "" {
-		f, err := os.Create(csvPath)
+	if o.csvPath != "" {
+		f, err := os.Create(o.csvPath)
 		if err != nil {
-			return err
+			return exitErr, err
 		}
 		if err := experiments.WriteCSV(f, allMeasurements); err != nil {
 			f.Close()
-			return err
+			return exitErr, err
 		}
-		return f.Close()
+		if err := f.Close(); err != nil {
+			return exitErr, err
+		}
 	}
-	return nil
+	if interrupted || total.FailedCells+total.CancelledCells+total.Retried+total.Restored > 0 {
+		fmt.Fprintf(os.Stderr, "benchfig: %d/%d cells failed, %d cancelled, %d restored, %d retries (%d recovered)\n",
+			total.FailedCells, total.Cells, total.CancelledCells, total.Restored, total.Retried, total.Recovered)
+	}
+	switch {
+	case interrupted:
+		return exitInterrupted, fmt.Errorf("interrupted; completed cells journaled%s", resumeHint(o))
+	case total.FailedCells > 0:
+		return exitFailedCells, nil
+	}
+	return exitOK, nil
 }
 
-// fileOrNil converts a possibly nil *os.File into the io.Writer the harness
-// expects without wrapping a typed nil in a non-nil interface.
-func fileOrNil(f *os.File) interfaceWriter {
-	if f == nil {
-		return nil
+// resumeHint names the journal a -resume run can pick up, if one was kept.
+func resumeHint(o runOpts) string {
+	switch {
+	case o.resume != "":
+		return fmt.Sprintf(" — resume with -resume %s", o.resume)
+	case o.checkpoint != "":
+		return fmt.Sprintf(" — resume with -resume %s", o.checkpoint)
 	}
-	return f
+	return ""
 }
-
-type interfaceWriter interface{ Write(p []byte) (int, error) }

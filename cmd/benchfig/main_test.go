@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func TestParseAlgos(t *testing.T) {
 	algos, err := parseAlgos("TENDS, netinf ,PATH")
@@ -19,14 +22,23 @@ func TestParseAlgos(t *testing.T) {
 }
 
 func TestRunValidation(t *testing.T) {
-	if err := run(0, false, 1, 1, "", "", true, 0); err == nil {
+	ctx := context.Background()
+	if _, err := run(ctx, runOpts{repeats: 1, seed: 1, quiet: true}); err == nil {
 		t.Fatal("no figure selected should fail")
 	}
-	if err := run(99, false, 1, 1, "", "", true, 0); err == nil {
+	if _, err := run(ctx, runOpts{figNum: 99, repeats: 1, seed: 1, quiet: true}); err == nil {
 		t.Fatal("unknown figure should fail")
 	}
-	if err := run(1, false, 1, 1, "", "bogus", true, 0); err == nil {
+	if _, err := run(ctx, runOpts{figNum: 1, repeats: 1, seed: 1, algos: "bogus", quiet: true}); err == nil {
 		t.Fatal("bad -algos should fail before any work")
+	}
+	if _, err := run(ctx, runOpts{figNum: 1, repeats: 1, seed: 1, quiet: true,
+		checkpoint: "a.jsonl", resume: "b.jsonl"}); err == nil {
+		t.Fatal("conflicting -checkpoint/-resume paths should fail")
+	}
+	if _, err := run(ctx, runOpts{figNum: 1, repeats: 1, seed: 1, quiet: true,
+		resume: t.TempDir() + "/missing.jsonl"}); err == nil {
+		t.Fatal("missing -resume journal should fail")
 	}
 }
 

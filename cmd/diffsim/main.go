@@ -110,9 +110,9 @@ func loadOrGenerate(graphPath, gen string, seed int64) (*graph.Directed, error) 
 		}
 		return res.Graph, nil
 	case gen == "netsci":
-		return datasets.NetSci(seed), nil
+		return datasets.NetSci(seed)
 	case gen == "dunf":
-		return datasets.DUNF(seed), nil
+		return datasets.DUNF(seed)
 	case gen == "":
 		return nil, fmt.Errorf("one of -graph or -gen is required")
 	default:

@@ -21,9 +21,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"tends/internal/core"
 	"tends/internal/diffusion"
@@ -49,8 +53,16 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*inPath, *outPath, *combo, *scale, *threshold, *useMI, *verbose, *workers); err != nil {
+	// SIGINT/SIGTERM cancels the inference cooperatively: the IMI and
+	// parent-search loops notice the context, the partially written output
+	// is abandoned, and the process exits with the conventional 130.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *inPath, *outPath, *combo, *scale, *threshold, *useMI, *verbose, *workers); err != nil {
 		fmt.Fprintf(os.Stderr, "tends: %v\n", err)
+		if errors.Is(err, context.Canceled) {
+			os.Exit(130)
+		}
 		os.Exit(1)
 	}
 	if *probsPath != "" {
@@ -99,7 +111,7 @@ func estimateProbs(inPath, graphPath, probsPath string) error {
 	return out.Close()
 }
 
-func run(inPath, outPath string, combo int, scale, threshold float64, useMI, verbose bool, workers int) error {
+func run(ctx context.Context, inPath, outPath string, combo int, scale, threshold float64, useMI, verbose bool, workers int) error {
 	f, err := os.Open(inPath)
 	if err != nil {
 		return err
@@ -119,7 +131,7 @@ func run(inPath, outPath string, combo int, scale, threshold float64, useMI, ver
 	if threshold >= 0 {
 		opt.FixedThreshold = &threshold
 	}
-	res, err := core.Infer(sm, opt)
+	res, err := core.InferContext(ctx, sm, opt)
 	if err != nil {
 		return err
 	}

@@ -23,7 +23,10 @@ import (
 )
 
 func main() {
-	truth := datasets.NetSci(1)
+	truth, err := datasets.NetSci(1)
+	if err != nil {
+		log.Fatalf("dataset: %v", err)
+	}
 	fmt.Printf("workload: NetSci stand-in (%d nodes, %d edges), beta=150, alpha=0.15, mu=0.3\n\n",
 		truth.NumNodes(), truth.NumEdges())
 

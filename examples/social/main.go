@@ -25,7 +25,10 @@ import (
 func main() {
 	// The DUNF-style microblog community stand-in: 750 users, 2974 follow
 	// relationships (see internal/datasets for its construction).
-	truth := datasets.DUNF(3)
+	truth, err := datasets.DUNF(3)
+	if err != nil {
+		log.Fatalf("dataset: %v", err)
+	}
 	fmt.Printf("social network: %d users, %d influence links\n\n", truth.NumNodes(), truth.NumEdges())
 
 	sim, err := tends.Simulate(truth, tends.SimulationConfig{

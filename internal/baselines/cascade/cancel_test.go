@@ -1,0 +1,29 @@
+package cascade
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"tends/internal/graph"
+)
+
+// A cancelled context must interrupt the greedy selection loop with the
+// context's error instead of a partial result.
+func TestGreedyContextCancelled(t *testing.T) {
+	g := graph.Chain(12)
+	res := simulate(t, g, 0.9, 0.13, 60, 1)
+	set, err := Build(res, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := GreedyContext(ctx, set, SumModel{Epsilon: set.Epsilon}, g.NumEdges()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The Background-context wrapper must be unaffected.
+	if _, err := Greedy(set, SumModel{Epsilon: set.Epsilon}, g.NumEdges()); err != nil {
+		t.Fatalf("Greedy: %v", err)
+	}
+}

@@ -2,6 +2,7 @@ package cascade
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -86,6 +87,14 @@ type GreedyResult struct {
 // (u → v) is any pair where u was a potential parent of v in at least one
 // event.
 func Greedy(s *Set, model GainModel, budget int) (*GreedyResult, error) {
+	return GreedyContext(context.Background(), s, model, budget)
+}
+
+// GreedyContext is Greedy with cooperative cancellation: the selection loop
+// checks the context between lazy-heap evaluations, so a cancelled or
+// timed-out context interrupts a long greedy run promptly with the
+// context's error.
+func GreedyContext(ctx context.Context, s *Set, model GainModel, budget int) (*GreedyResult, error) {
 	if budget < 0 {
 		return nil, fmt.Errorf("cascade: negative budget %d", budget)
 	}
@@ -121,6 +130,9 @@ func Greedy(s *Set, model GainModel, budget int) (*GreedyResult, error) {
 	res := &GreedyResult{Graph: graph.New(s.N)}
 	round := 0
 	for len(pq) > 0 && res.Graph.NumEdges() < budget {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("cascade: greedy: %w", err)
+		}
 		top := pq[0]
 		if top.round != round {
 			// Stale gain: recompute and reinsert (lazy evaluation, valid

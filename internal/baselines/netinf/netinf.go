@@ -11,6 +11,8 @@
 package netinf
 
 import (
+	"context"
+
 	"tends/internal/baselines/cascade"
 	"tends/internal/diffusion"
 	"tends/internal/graph"
@@ -24,11 +26,17 @@ type Options struct {
 
 // Infer reconstructs up to m edges from the observed cascades.
 func Infer(res *diffusion.Result, m int, opt Options) (*graph.Directed, error) {
+	return InferContext(context.Background(), res, m, opt)
+}
+
+// InferContext is Infer with cooperative cancellation inside the greedy
+// edge-selection loop.
+func InferContext(ctx context.Context, res *diffusion.Result, m int, opt Options) (*graph.Directed, error) {
 	set, err := cascade.Build(res, cascade.Options{Lambda: opt.Lambda, Epsilon: opt.Epsilon})
 	if err != nil {
 		return nil, err
 	}
-	greedy, err := cascade.Greedy(set, cascade.MaxModel{Epsilon: set.Epsilon}, m)
+	greedy, err := cascade.GreedyContext(ctx, set, cascade.MaxModel{Epsilon: set.Epsilon}, m)
 	if err != nil {
 		return nil, err
 	}

@@ -23,6 +23,7 @@
 package netrate
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -60,6 +61,14 @@ func (o Options) withDefaults() Options {
 // Infer estimates transmission rates from cascades and returns the inferred
 // weighted edges, strongest first.
 func Infer(res *diffusion.Result, opt Options) ([]metrics.WeightedEdge, error) {
+	return InferContext(context.Background(), res, opt)
+}
+
+// InferContext is Infer with cooperative cancellation: the per-node EM
+// solves check the context between destination nodes and between fixed-point
+// iterations, so a cancelled or timed-out context interrupts a long (or
+// non-converging) solve promptly with the context's error.
+func InferContext(ctx context.Context, res *diffusion.Result, opt Options) ([]metrics.WeightedEdge, error) {
 	opt = opt.withDefaults()
 	if len(res.Cascades) == 0 {
 		return nil, fmt.Errorf("netrate: no cascades")
@@ -83,7 +92,10 @@ func Infer(res *diffusion.Result, opt Options) ([]metrics.WeightedEdge, error) {
 
 	var out []metrics.WeightedEdge
 	for i := 0; i < n; i++ {
-		rates := solveNode(i, res, times, horizon, opt)
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("netrate: %w", err)
+		}
+		rates := solveNode(ctx, i, res, times, horizon, opt)
 		for j, a := range rates {
 			if a > opt.MinRate {
 				out = append(out, metrics.WeightedEdge{
@@ -93,12 +105,17 @@ func Infer(res *diffusion.Result, opt Options) ([]metrics.WeightedEdge, error) {
 			}
 		}
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("netrate: %w", err)
+	}
 	sort.SliceStable(out, func(a, b int) bool { return out[a].Weight > out[b].Weight })
 	return out, nil
 }
 
-// solveNode maximizes L_i over the rates of node i's potential sources.
-func solveNode(i int, res *diffusion.Result, times [][]float64, horizon []float64, opt Options) map[int]float64 {
+// solveNode maximizes L_i over the rates of node i's potential sources. A
+// cancelled context stops the EM iterations early; the caller discards the
+// partial rates.
+func solveNode(ctx context.Context, i int, res *diffusion.Result, times [][]float64, horizon []float64, opt Options) map[int]float64 {
 	// d[j]: total exposure duration of j toward i across cascades.
 	// parents[c]: sources that could have infected i in cascade c.
 	d := make(map[int]float64)
@@ -146,7 +163,7 @@ func solveNode(i int, res *diffusion.Result, times [][]float64, horizon []float6
 	if len(rates) == 0 {
 		return nil
 	}
-	for iter := 0; iter < opt.Iterations; iter++ {
+	for iter := 0; iter < opt.Iterations && ctx.Err() == nil; iter++ {
 		// Responsibilities: acc[j] = Σ_c α_j / S_c over cascades where j
 		// is a potential parent of i.
 		acc := make(map[int]float64, len(rates))

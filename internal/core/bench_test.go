@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"testing"
 
@@ -51,7 +52,7 @@ func BenchmarkEnumerateCombos(b *testing.B) {
 		b.Run(map[int]string{2: "eta2", 3: "eta3"}[size], func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if combos := enumerateCombos(s, 0, cands, opt); len(combos) == 0 {
+				if combos := enumerateCombos(context.Background(), s, 0, cands, opt); len(combos) == 0 {
 					b.Fatal("no combinations enumerated")
 				}
 			}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/bits"
 	"runtime"
@@ -60,10 +61,21 @@ func ComputeIMI(sm *diffusion.StatusMatrix, traditional bool) *IMIMatrix {
 // execution. Every (i, j) slot is computed independently from the same
 // inputs, so the matrix is bit-identical for any worker count.
 func ComputeIMIWorkers(sm *diffusion.StatusMatrix, traditional bool, workers int) *IMIMatrix {
+	// Background context never cancels, so the error can be ignored.
+	m, _ := ComputeIMIContext(context.Background(), sm, traditional, workers)
+	return m
+}
+
+// ComputeIMIContext is ComputeIMIWorkers with cooperative cancellation: the
+// O(n²) pairwise stage checks ctx between rows and abandons the computation
+// — returning ctx's error and no matrix — once the context is done. It is
+// the hook the experiment harness uses to impose per-cell deadlines on
+// TENDS runs.
+func ComputeIMIContext(ctx context.Context, sm *diffusion.StatusMatrix, traditional bool, workers int) (*IMIMatrix, error) {
 	n := sm.N()
 	m := &IMIMatrix{n: n, vals: make([]float64, n*(n-1)/2)}
 	if n < 2 {
-		return m
+		return m, ctx.Err()
 	}
 	beta := sm.Beta()
 	// Per-node infected counts, computed once up front: building each
@@ -105,9 +117,12 @@ func ComputeIMIWorkers(sm *diffusion.StatusMatrix, traditional bool, workers int
 	}
 	if workers <= 1 {
 		for i := 0; i < n-1; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			fillRow(i)
 		}
-		return m
+		return m, nil
 	}
 	// Workers claim rows off a shared counter; rows shrink as i grows, so
 	// dynamic claiming balances the triangular workload better than fixed
@@ -118,7 +133,7 @@ func ComputeIMIWorkers(sm *diffusion.StatusMatrix, traditional bool, workers int
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
+			for ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= n-1 {
 					return
@@ -128,7 +143,10 @@ func ComputeIMIWorkers(sm *diffusion.StatusMatrix, traditional bool, workers int
 		}()
 	}
 	wg.Wait()
-	return m
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return m, nil
 }
 
 // SelectThreshold runs the modified K-means of Section IV-B over the

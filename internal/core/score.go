@@ -10,6 +10,7 @@ package core
 import (
 	"math"
 	"math/bits"
+	"slices"
 	"sync"
 
 	"tends/internal/diffusion"
@@ -272,7 +273,15 @@ func (s *Scorer) genericCombos(child int, parents []int, parts *ScoreParts) {
 		}
 		counts[key] = cc
 	}
-	for _, cc := range counts {
+	// Accumulate in sorted-key order: addCombo sums floats, and map
+	// iteration order would otherwise make the result vary run to run.
+	keys := make([]uint64, 0, len(counts))
+	for key := range counts {
+		keys = append(keys, key)
+	}
+	slices.Sort(keys)
+	for _, key := range keys {
+		cc := counts[key]
 		s.addCombo(parts, cc[0], cc[1])
 	}
 }

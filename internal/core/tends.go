@@ -2,6 +2,7 @@ package core
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -139,6 +140,16 @@ type Result struct {
 // Infer reconstructs the diffusion network topology from final infection
 // statuses, per Algorithm 1 of the paper.
 func Infer(sm *diffusion.StatusMatrix, opt Options) (*Result, error) {
+	return InferContext(context.Background(), sm, opt)
+}
+
+// InferContext is Infer with cooperative cancellation: the IMI stage checks
+// the context between matrix rows and the parent-set search between nodes
+// (and between greedy merges inside a node's search), so a cancelled or
+// timed-out context makes inference return promptly with the context's
+// error instead of running to completion. The inferred topology for a
+// context that never fires is identical to Infer's.
+func InferContext(ctx context.Context, sm *diffusion.StatusMatrix, opt Options) (*Result, error) {
 	opt = opt.withDefaults()
 	if sm.N() == 0 {
 		return nil, fmt.Errorf("core: status matrix has no nodes")
@@ -153,7 +164,10 @@ func Infer(sm *diffusion.StatusMatrix, opt Options) (*Result, error) {
 		return nil, fmt.Errorf("core: ThresholdScale must be non-negative, got %v", opt.ThresholdScale)
 	}
 
-	imi := ComputeIMIWorkers(sm, opt.TraditionalMI, opt.Workers)
+	imi, err := ComputeIMIContext(ctx, sm, opt.TraditionalMI, opt.Workers)
+	if err != nil {
+		return nil, fmt.Errorf("core: IMI stage: %w", err)
+	}
 	var autoTau float64
 	switch opt.ThresholdMethod {
 	case ThresholdAuto:
@@ -197,7 +211,7 @@ func Infer(sm *diffusion.StatusMatrix, opt Options) (*Result, error) {
 			cands = cands[:opt.MaxCandidates]
 			sort.Ints(cands)
 		}
-		return searchParents(scorer, i, cands, opt)
+		return searchParents(ctx, scorer, i, cands, opt)
 	}
 
 	workers := opt.Workers
@@ -208,7 +222,7 @@ func Infer(sm *diffusion.StatusMatrix, opt Options) (*Result, error) {
 		workers = n
 	}
 	if workers <= 1 {
-		for i := 0; i < n; i++ {
+		for i := 0; i < n && ctx.Err() == nil; i++ {
 			res.Parents[i] = searchNode(i)
 		}
 	} else {
@@ -222,6 +236,9 @@ func Infer(sm *diffusion.StatusMatrix, opt Options) (*Result, error) {
 			go func() {
 				defer wg.Done()
 				for i := range next {
+					if ctx.Err() != nil {
+						continue // drain the channel without working
+					}
 					res.Parents[i] = searchNode(i)
 				}
 			}()
@@ -231,6 +248,9 @@ func Infer(sm *diffusion.StatusMatrix, opt Options) (*Result, error) {
 		}
 		close(next)
 		wg.Wait()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: parent search: %w", err)
 	}
 	for i, parents := range res.Parents {
 		for _, p := range parents {
@@ -242,20 +262,22 @@ func Infer(sm *diffusion.StatusMatrix, opt Options) (*Result, error) {
 }
 
 // searchParents runs the greedy most-probable-parent-set search for one
-// node over the pruned candidate set.
-func searchParents(s *Scorer, child int, cands []int, opt Options) []int {
+// node over the pruned candidate set. A cancelled context makes it bail out
+// between phases with whatever partial answer it has; InferContext discards
+// the partial topology and surfaces the context error.
+func searchParents(ctx context.Context, s *Scorer, child int, cands []int, opt Options) []int {
 	if len(cands) == 0 {
 		return nil
 	}
-	combos := enumerateCombos(s, child, cands, opt)
-	if len(combos) == 0 {
+	combos := enumerateCombos(ctx, s, child, cands, opt)
+	if len(combos) == 0 || ctx.Err() != nil {
 		return nil
 	}
 	var parents []int
 	if opt.StaticGreedy {
 		parents = staticMerge(s, child, combos, opt)
 	} else {
-		parents = adaptiveMerge(s, child, combos, opt)
+		parents = adaptiveMerge(ctx, s, child, combos, opt)
 	}
 	if opt.BackwardPrune {
 		parents = backwardPrune(s, child, parents)
@@ -308,7 +330,7 @@ type combo struct {
 // from all d columns per combination as a fresh LocalScoreParts call
 // would. Past the packed/generic crossover the per-process fallback takes
 // over unchanged.
-func enumerateCombos(s *Scorer, child int, cands []int, opt Options) []combo {
+func enumerateCombos(ctx context.Context, s *Scorer, child int, cands []int, opt Options) []combo {
 	var out []combo
 	maxSize := opt.MaxComboSize
 	if maxSize > len(cands) {
@@ -342,6 +364,13 @@ func enumerateCombos(s *Scorer, child int, cands []int, opt Options) []combo {
 			return
 		}
 		for k := start; k < len(cands); k++ {
+			// Check cancellation once per top-level subtree: a weak
+			// threshold can make a single node's enumeration combinatorial,
+			// and the per-cell deadline must be able to interrupt it
+			// mid-node.
+			if len(cur) == 0 && ctx.Err() != nil {
+				return
+			}
 			cur = append(cur, cands[k])
 			if d := len(cur); d <= packedLim {
 				sc.extend(s, d, cands[k])
@@ -364,7 +393,7 @@ func enumerateCombos(s *Scorer, child int, cands []int, opt Options) []combo {
 // heap top is re-evaluated against the grown F. Improvements shrink as F
 // absorbs the signal a combination carries, so stale heads re-sink and the
 // scan touches a small fraction of the combination pool per iteration.
-func adaptiveMerge(s *Scorer, child int, combos []combo, opt Options) []int {
+func adaptiveMerge(ctx context.Context, s *Scorer, child int, combos []combo, opt Options) []int {
 	inF := make(map[int]bool)
 	var parents []int
 	curScore := s.LocalScore(child, nil)
@@ -378,7 +407,7 @@ func adaptiveMerge(s *Scorer, child int, combos []combo, opt Options) []int {
 	heap.Init(&h)
 
 	round := 0
-	for h.Len() > 0 {
+	for h.Len() > 0 && ctx.Err() == nil {
 		top := &h[0]
 		if top.gain <= 0 {
 			break

@@ -53,27 +53,30 @@ const dunfComponents = 6
 
 // NetSci returns a synthetic stand-in for the NetSci co-authorship network:
 // a symmetric community digraph with exactly 379 nodes and 1602 directed
-// edges.
-func NetSci(seed int64) *graph.Directed {
+// edges. Generation failure is a runtime condition of the underlying LFR
+// sampler (not programmer error), so it is reported as an error rather
+// than a panic.
+func NetSci(seed int64) (*graph.Directed, error) {
 	rng := rand.New(rand.NewSource(seed))
 	avg := float64(NetSciEdges) / float64(NetSciNodes)
 	res, err := lfr.Generate(lfr.Params{N: NetSciNodes, AvgDegree: avg, DegreeExp: 2}, rng)
 	if err != nil {
-		panic(fmt.Sprintf("datasets: NetSci generation failed: %v", err))
+		return nil, fmt.Errorf("datasets: NetSci generation failed: %w", err)
 	}
 	g := res.Graph
 	trimSymmetric(g, NetSciEdges, rng)
 	growSymmetric(g, NetSciEdges, rng)
 	if g.NumEdges() != NetSciEdges {
-		panic(fmt.Sprintf("datasets: NetSci stand-in has %d edges, want %d", g.NumEdges(), NetSciEdges))
+		return nil, fmt.Errorf("datasets: NetSci stand-in has %d edges, want %d", g.NumEdges(), NetSciEdges)
 	}
-	return g
+	return g, nil
 }
 
 // DUNF returns a synthetic stand-in for the DUNF microblogging network:
 // six disconnected social circles with a reciprocal follow core and a
 // fraction of one-way follows, exactly 750 nodes and 2974 directed edges.
-func DUNF(seed int64) *graph.Directed {
+// As with NetSci, generation failure is reported as an error.
+func DUNF(seed int64) (*graph.Directed, error) {
 	rng := rand.New(rand.NewSource(seed))
 	g := graph.New(DUNFNodes)
 	per := DUNFNodes / dunfComponents
@@ -83,7 +86,7 @@ func DUNF(seed int64) *graph.Directed {
 	for c := 0; c < dunfComponents; c++ {
 		res, err := lfr.Generate(lfr.Params{N: per, AvgDegree: avg, DegreeExp: 2}, rng)
 		if err != nil {
-			panic(fmt.Sprintf("datasets: DUNF generation failed: %v", err))
+			return nil, fmt.Errorf("datasets: DUNF generation failed: %w", err)
 		}
 		off := c * per
 		for _, e := range res.Graph.Edges() {
@@ -101,9 +104,9 @@ func DUNF(seed int64) *graph.Directed {
 		}
 	}
 	if g.NumEdges() != DUNFEdges {
-		panic(fmt.Sprintf("datasets: DUNF stand-in has %d edges, want %d", g.NumEdges(), DUNFEdges))
+		return nil, fmt.Errorf("datasets: DUNF stand-in has %d edges, want %d", g.NumEdges(), DUNFEdges)
 	}
-	return g
+	return g, nil
 }
 
 // trimSymmetric removes random mutual pairs (both directions) until the

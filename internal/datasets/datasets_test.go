@@ -2,10 +2,32 @@ package datasets
 
 import (
 	"testing"
+
+	"tends/internal/graph"
 )
+// mustNetSci / mustDUNF unwrap the constructors' error returns; generation
+// failure is a test failure.
+func mustNetSci(t *testing.T, seed int64) *graph.Directed {
+	t.Helper()
+	g, err := NetSci(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func mustDUNF(t *testing.T, seed int64) *graph.Directed {
+	t.Helper()
+	g, err := DUNF(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
 
 func TestNetSciShape(t *testing.T) {
-	g := NetSci(1)
+	g := mustNetSci(t, 1)
 	if g.NumNodes() != NetSciNodes {
 		t.Fatalf("nodes = %d, want %d", g.NumNodes(), NetSciNodes)
 	}
@@ -21,7 +43,7 @@ func TestNetSciShape(t *testing.T) {
 }
 
 func TestDUNFShape(t *testing.T) {
-	g := DUNF(1)
+	g := mustDUNF(t, 1)
 	if g.NumNodes() != DUNFNodes {
 		t.Fatalf("nodes = %d, want %d", g.NumNodes(), DUNFNodes)
 	}
@@ -46,7 +68,7 @@ func TestDUNFShape(t *testing.T) {
 }
 
 func TestDUNFFragmented(t *testing.T) {
-	g := DUNF(3)
+	g := mustDUNF(t, 3)
 	per := DUNFNodes / 6
 	// No edge may cross a component boundary.
 	for _, e := range g.Edges() {
@@ -59,12 +81,12 @@ func TestDUNFFragmented(t *testing.T) {
 func TestBoundedDegrees(t *testing.T) {
 	// The stand-ins are bounded-degree community graphs: no node's total
 	// degree should dwarf the mean (see the package comment for why).
-	ns := NetSci(2)
+	ns := mustNetSci(t, 2)
 	s := ns.OutDegreeStats()
 	if float64(s.Max) > 8*s.Mean {
 		t.Fatalf("NetSci has a runaway hub: max=%d mean=%.2f", s.Max, s.Mean)
 	}
-	du := DUNF(2)
+	du := mustDUNF(t, 2)
 	ds := du.OutDegreeStats()
 	if float64(ds.Max) > 8*ds.Mean {
 		t.Fatalf("DUNF has a runaway hub: max=%d mean=%.2f", ds.Max, ds.Mean)
@@ -72,7 +94,7 @@ func TestBoundedDegrees(t *testing.T) {
 }
 
 func TestDUNFStructuralProfile(t *testing.T) {
-	g := DUNF(4)
+	g := mustDUNF(t, 4)
 	comps := g.WeaklyConnectedComponents()
 	big := 0
 	for _, c := range comps {
@@ -89,7 +111,7 @@ func TestDUNFStructuralProfile(t *testing.T) {
 }
 
 func TestNetSciStructuralProfile(t *testing.T) {
-	g := NetSci(4)
+	g := mustNetSci(t, 4)
 	if r := g.Reciprocity(); r != 1 {
 		t.Fatalf("NetSci reciprocity = %v, co-authorship must be symmetric", r)
 	}
@@ -100,13 +122,13 @@ func TestNetSciStructuralProfile(t *testing.T) {
 }
 
 func TestDeterministicBySeed(t *testing.T) {
-	if !NetSci(5).Equal(NetSci(5)) {
+	if !mustNetSci(t, 5).Equal(mustNetSci(t, 5)) {
 		t.Fatal("NetSci not deterministic for fixed seed")
 	}
-	if !DUNF(5).Equal(DUNF(5)) {
+	if !mustDUNF(t, 5).Equal(mustDUNF(t, 5)) {
 		t.Fatal("DUNF not deterministic for fixed seed")
 	}
-	if NetSci(1).Equal(NetSci(2)) {
+	if mustNetSci(t, 1).Equal(mustNetSci(t, 2)) {
 		t.Fatal("different seeds produced identical NetSci graphs")
 	}
 }

@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// JournalVersion is the checkpoint format version written to headers and
+// required on load.
+const JournalVersion = 1
+
+// CellKey identifies one (figure, point, algorithm) cell across runs. The
+// point is keyed by index, not label, so resume stays exact even if two
+// points share a label; the label is cross-checked on restore.
+type CellKey struct {
+	Figure     string
+	PointIndex int
+	Algorithm  Algorithm
+}
+
+// JournalHeader is the first record of a checkpoint journal. A resumed run
+// must match the header's seed and repeats, otherwise restored cells would
+// be silently inconsistent with freshly computed ones.
+type JournalHeader struct {
+	Type    string `json:"type"` // "header"
+	Version int    `json:"version"`
+	Seed    int64  `json:"seed"`
+	Repeats int    `json:"repeats"`
+}
+
+// journalCell is one completed (point, algorithm) cell, serialized as a
+// JSONL record. Floats round-trip exactly through encoding/json (shortest
+// representation), so a restored cell reproduces the original report bytes.
+type journalCell struct {
+	Type          string  `json:"type"` // "cell"
+	Figure        string  `json:"figure"`
+	PointIndex    int     `json:"point_index"`
+	Point         string  `json:"point"`
+	Algorithm     string  `json:"algorithm"`
+	F             float64 `json:"f"`
+	FStd          float64 `json:"f_std"`
+	Precision     float64 `json:"precision"`
+	Recall        float64 `json:"recall"`
+	RuntimeNS     int64   `json:"runtime_ns"`
+	Completed     int     `json:"completed"`
+	FailedRepeats int     `json:"failed_repeats"`
+	Error         string  `json:"error,omitempty"`
+}
+
+// Journal appends completed-cell records to a checkpoint stream, one JSON
+// object per line. Appends are serialized and unbuffered: each record
+// reaches the underlying writer before Append returns, so a run killed
+// mid-sweep loses at most the cells still in flight.
+type Journal struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewJournal starts a fresh checkpoint journal on w by writing its header.
+func NewJournal(w io.Writer, seed int64, repeats int) (*Journal, error) {
+	j := &Journal{w: w}
+	if err := j.writeRecord(JournalHeader{Type: "header", Version: JournalVersion, Seed: seed, Repeats: repeats}); err != nil {
+		return nil, fmt.Errorf("write header: %w", err)
+	}
+	return j, nil
+}
+
+// ResumeJournal continues an existing journal on w (opened for append);
+// the header is already present, so none is written.
+func ResumeJournal(w io.Writer) *Journal {
+	return &Journal{w: w}
+}
+
+// Append records one completed cell. pointIndex is the cell's position in
+// its figure's sweep, the resume key alongside the measurement's own
+// figure/algorithm identity.
+func (j *Journal) Append(pointIndex int, m Measurement) error {
+	rec := journalCell{
+		Type:          "cell",
+		Figure:        m.Figure,
+		PointIndex:    pointIndex,
+		Point:         m.Point,
+		Algorithm:     string(m.Algorithm),
+		F:             m.F,
+		FStd:          m.FStd,
+		Precision:     m.Precision,
+		Recall:        m.Recall,
+		RuntimeNS:     int64(m.Runtime),
+		Completed:     m.Completed,
+		FailedRepeats: m.FailedRepeats,
+	}
+	if m.Err != nil {
+		rec.Error = m.Err.Error()
+	}
+	return j.writeRecord(rec)
+}
+
+func (j *Journal) writeRecord(rec any) error {
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	_, err = j.w.Write(b)
+	return err
+}
+
+// maxJournalLine bounds a single journal record; real records are a few
+// hundred bytes, so anything larger is corruption.
+const maxJournalLine = 1 << 20
+
+// LoadJournal parses a checkpoint journal. Corrupt or truncated lines —
+// the expected tail state of a journal cut off by a kill — are skipped,
+// each reported in the returned warnings; a later record for the same cell
+// wins. The only hard errors are an unreadable stream and a missing or
+// incompatible header, which make every record untrustworthy.
+func LoadJournal(r io.Reader) (*JournalHeader, map[CellKey]Measurement, []string, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), maxJournalLine)
+	var header *JournalHeader
+	cells := make(map[CellKey]Measurement)
+	var warnings []string
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var probe struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(line, &probe); err != nil {
+			warnings = append(warnings, fmt.Sprintf("line %d: skipping corrupt record: %v", lineNo, err))
+			continue
+		}
+		switch probe.Type {
+		case "header":
+			var h JournalHeader
+			if err := json.Unmarshal(line, &h); err != nil {
+				warnings = append(warnings, fmt.Sprintf("line %d: skipping corrupt header: %v", lineNo, err))
+				continue
+			}
+			if header != nil {
+				warnings = append(warnings, fmt.Sprintf("line %d: ignoring duplicate header", lineNo))
+				continue
+			}
+			if h.Version != JournalVersion {
+				return nil, nil, warnings, fmt.Errorf("checkpoint journal version %d, want %d", h.Version, JournalVersion)
+			}
+			header = &h
+		case "cell":
+			var c journalCell
+			if err := json.Unmarshal(line, &c); err != nil {
+				warnings = append(warnings, fmt.Sprintf("line %d: skipping corrupt cell: %v", lineNo, err))
+				continue
+			}
+			if header == nil {
+				warnings = append(warnings, fmt.Sprintf("line %d: skipping cell before header", lineNo))
+				continue
+			}
+			if c.PointIndex < 0 || c.Figure == "" || c.Algorithm == "" {
+				warnings = append(warnings, fmt.Sprintf("line %d: skipping cell with invalid identity", lineNo))
+				continue
+			}
+			m := Measurement{
+				Figure:        c.Figure,
+				Point:         c.Point,
+				Algorithm:     Algorithm(c.Algorithm),
+				F:             c.F,
+				FStd:          c.FStd,
+				Precision:     c.Precision,
+				Recall:        c.Recall,
+				Runtime:       time.Duration(c.RuntimeNS),
+				Completed:     c.Completed,
+				FailedRepeats: c.FailedRepeats,
+			}
+			if c.Error != "" {
+				m.Err = errors.New(c.Error)
+			}
+			cells[CellKey{Figure: c.Figure, PointIndex: c.PointIndex, Algorithm: m.Algorithm}] = m
+		default:
+			warnings = append(warnings, fmt.Sprintf("line %d: skipping unknown record type %q", lineNo, probe.Type))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return header, cells, warnings, fmt.Errorf("read checkpoint journal: %w", err)
+	}
+	if header == nil {
+		return nil, nil, warnings, errors.New("checkpoint journal has no header record")
+	}
+	return header, cells, warnings, nil
+}

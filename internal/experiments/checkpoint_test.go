@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestLoadJournalSkipsCorruptLines(t *testing.T) {
+	var buf bytes.Buffer
+	j, err := NewJournal(&buf, 7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := Measurement{Figure: "Fig1", Point: "n=200", Algorithm: AlgoTENDS,
+		F: 0.875, FStd: 0.01, Precision: 0.9, Recall: 0.85, Runtime: 1234 * time.Millisecond, Completed: 3}
+	if err := j.Append(0, good); err != nil {
+		t.Fatal(err)
+	}
+	failed := Measurement{Figure: "Fig1", Point: "n=200", Algorithm: AlgoNetRate,
+		FailedRepeats: 3, Err: errors.New("injected, with comma")}
+	if err := j.Append(0, failed); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a journal cut off mid-write plus assorted corruption: a
+	// truncated cell record, garbage, an unknown type, and an invalid cell.
+	buf.WriteString(`{"type":"cell","figure":"Fig1","point_index":1,"algo` + "\n")
+	buf.WriteString("not json at all\n")
+	buf.WriteString(`{"type":"mystery"}` + "\n")
+	buf.WriteString(`{"type":"cell","figure":"","point_index":-2,"algorithm":""}` + "\n")
+
+	header, cells, warnings, err := LoadJournal(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if header.Seed != 7 || header.Repeats != 3 {
+		t.Fatalf("header = %+v", header)
+	}
+	if len(warnings) != 4 {
+		t.Fatalf("warnings = %v, want 4", warnings)
+	}
+	for _, w := range warnings {
+		if !strings.Contains(w, "skipping") {
+			t.Fatalf("warning %q does not explain the skip", w)
+		}
+	}
+	if len(cells) != 2 {
+		t.Fatalf("cells = %d, want 2", len(cells))
+	}
+	got := cells[CellKey{Figure: "Fig1", PointIndex: 0, Algorithm: AlgoTENDS}]
+	if got.F != good.F || got.FStd != good.FStd || got.Precision != good.Precision ||
+		got.Recall != good.Recall || got.Runtime != good.Runtime || got.Completed != good.Completed {
+		t.Fatalf("cell round-trip: got %+v, want %+v", got, good)
+	}
+	gotFailed := cells[CellKey{Figure: "Fig1", PointIndex: 0, Algorithm: AlgoNetRate}]
+	if gotFailed.Err == nil || gotFailed.Err.Error() != "injected, with comma" {
+		t.Fatalf("error round-trip: %v", gotFailed.Err)
+	}
+}
+
+func TestLoadJournalRejectsHeaderProblems(t *testing.T) {
+	if _, _, _, err := LoadJournal(strings.NewReader("")); err == nil {
+		t.Fatal("empty journal should fail (no header)")
+	}
+	cellOnly := `{"type":"cell","figure":"Fig1","point_index":0,"algorithm":"TENDS"}` + "\n"
+	_, cells, warnings, err := LoadJournal(strings.NewReader(cellOnly))
+	if err == nil {
+		t.Fatalf("headerless journal should fail, got cells=%v warnings=%v", cells, warnings)
+	}
+	future := `{"type":"header","version":99,"seed":1,"repeats":1}` + "\n"
+	if _, _, _, err := LoadJournal(strings.NewReader(future)); err == nil {
+		t.Fatal("future journal version should fail")
+	}
+}
+
+func TestLoadJournalLastRecordWins(t *testing.T) {
+	var buf bytes.Buffer
+	j, err := NewJournal(&buf, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := CellKey{Figure: "Fig1", PointIndex: 0, Algorithm: AlgoTENDS}
+	if err := j.Append(0, Measurement{Figure: "Fig1", Point: "p", Algorithm: AlgoTENDS, F: 0.1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(0, Measurement{Figure: "Fig1", Point: "p", Algorithm: AlgoTENDS, F: 0.9}); err != nil {
+		t.Fatal(err)
+	}
+	_, cells, _, err := LoadJournal(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cells[key].F != 0.9 {
+		t.Fatalf("later record should win: F = %v", cells[key].F)
+	}
+}
+
+// FuzzLoadJournal feeds arbitrary bytes to the checkpoint parser: malformed
+// journals must come back as errors or skip-warnings, never a panic.
+func FuzzLoadJournal(f *testing.F) {
+	f.Add([]byte(`{"type":"header","version":1,"seed":1,"repeats":2}` + "\n" +
+		`{"type":"cell","figure":"Fig1","point_index":0,"point":"n=200","algorithm":"TENDS","f":0.5,"completed":2}` + "\n"))
+	f.Add([]byte(`{"type":"cell","figure":"Fig1"`))
+	f.Add([]byte("\n\nnot json\n"))
+	f.Add([]byte(`{"type":"header","version":1}{"type":"header","version":1}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		header, cells, _, err := LoadJournal(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if header == nil {
+			t.Fatal("nil header without error")
+		}
+		for key := range cells {
+			if key.Figure == "" || key.Algorithm == "" || key.PointIndex < 0 {
+				t.Fatalf("invalid cell key survived validation: %+v", key)
+			}
+		}
+	})
+}

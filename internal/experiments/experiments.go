@@ -7,10 +7,13 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -107,6 +110,39 @@ type Config struct {
 	// the worker count, so results for a fixed seed are identical (up to
 	// measured wall-clock runtimes) at any setting.
 	Workers int
+	// CellTimeout imposes a per-(point, repeat, algorithm) deadline on the
+	// algorithm run (workload generation is excluded — it is shared across
+	// algorithms). The deadline propagates by cooperative cancellation into
+	// the algorithm iteration loops; an expired cell records a
+	// context.DeadlineExceeded error instead of stalling a worker forever.
+	// 0 disables the deadline.
+	CellTimeout time.Duration
+	// Retries re-runs a failed (point, repeat, algorithm) task up to this
+	// many extra times. Each retry regenerates the workload under a
+	// SplitMix64-derived retry seed (deterministic, disjoint from the
+	// primary cellSeed stream), so a transient workload pathology — not
+	// just a flaky algorithm — gets a fresh draw. Retried outcomes are
+	// deterministic at any worker count because the attempt sequence runs
+	// inside the owning task. Run-level cancellation is never retried.
+	Retries int
+	// Checkpoint, when non-nil, receives one JSONL record per fully
+	// completed (point, algorithm) cell, appended as soon as the cell's
+	// last repeat finishes. See Journal.
+	Checkpoint *Journal
+	// Resume maps cells to their measurements from a previous run's
+	// checkpoint journal (see LoadJournal); cells found here are restored
+	// verbatim and never re-executed.
+	Resume map[CellKey]Measurement
+}
+
+// RunStats summarizes the fault-handling activity of one Run.
+type RunStats struct {
+	Cells          int // total (point, algorithm) cells in the figure
+	Restored       int // cells restored from Config.Resume, not executed
+	FailedCells    int // cells whose every repeat failed (excluding cancellation)
+	CancelledCells int // cells with at least one repeat lost to run cancellation
+	Retried        int // retry attempts executed across all tasks
+	Recovered      int // failed tasks that later succeeded on a retry
 }
 
 // sharedWorkload generates a (point, repeat) workload — the network plus
@@ -122,6 +158,14 @@ type sharedWorkload struct {
 
 func (wl *sharedWorkload) get(w Workload, seed int64) (*graph.Directed, *diffusion.Result, error) {
 	wl.once.Do(func() {
+		// A panicking generator must not poison the sync.Once (a panic
+		// marks it done, so every later caller would see nil results with
+		// no error); contain it into the shared error instead.
+		defer func() {
+			if rec := recover(); rec != nil {
+				wl.err = fmt.Errorf("workload panic: %v", rec)
+			}
+		}()
 		g, err := w.Network(seed)
 		if err != nil {
 			wl.err = fmt.Errorf("network: %w", err)
@@ -137,47 +181,99 @@ func (wl *sharedWorkload) get(w Workload, seed int64) (*graph.Directed, *diffusi
 	return wl.g, wl.sim, wl.err
 }
 
+// repResult is the outcome of one (point, repeat, algorithm) task.
+type repResult struct {
+	prf metrics.PRF
+	dur time.Duration
+	err error
+	ran bool // distinguishes "never claimed" from "ran and succeeded"
+}
+
+// runTaskAttempt executes one attempt of a (point, repeat, algorithm) task:
+// workload acquisition (shared on the primary attempt, fresh on retries),
+// then the algorithm under the per-cell deadline, with any panic along the
+// way recovered into the attempt's error.
+func runTaskAttempt(ctx context.Context, cfg Config, pt *Point, algo Algorithm, wl *sharedWorkload, seed int64) (prf metrics.PRF, dur time.Duration, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("panic in %s: %v\n%s", algo, rec, firstStackLines(debug.Stack(), 8))
+		}
+	}()
+	g, sim, err := wl.get(pt.Workload, seed)
+	if err != nil {
+		return metrics.PRF{}, 0, err
+	}
+	cellCtx := ctx
+	cancel := func() {}
+	if cfg.CellTimeout > 0 {
+		cellCtx, cancel = context.WithTimeout(ctx, cfg.CellTimeout)
+	}
+	defer cancel()
+	return runAlgo(cellCtx, pt, algo, g, sim)
+}
+
+// firstStackLines trims a debug.Stack dump to its first n lines — enough to
+// locate a contained panic without flooding per-cell error columns.
+func firstStackLines(stack []byte, n int) string {
+	for i, b := 0, 0; i < len(stack); i++ {
+		if stack[i] == '\n' {
+			b++
+			if b == n {
+				return string(stack[:i])
+			}
+		}
+	}
+	return string(stack)
+}
+
 // Run executes a figure and returns its measurements in point-major order.
 // Cells run concurrently per Config.Workers; progress lines still stream
 // in point-major order, each emitted as soon as every cell before it has
 // finished.
 func Run(fig Figure, cfg Config, progress io.Writer) ([]Measurement, error) {
+	ms, _, err := RunContext(context.Background(), fig, cfg, progress)
+	return ms, err
+}
+
+// RunContext is Run under a context: cancelling ctx stops the sweep —
+// unstarted cells are abandoned, in-flight cells are cooperatively
+// cancelled and drained — and the function returns the measurements
+// gathered so far together with ctx's error. Every (point, repeat,
+// algorithm) task is a contained unit of work: a panicking algorithm or
+// workload generator is recovered into that task's error, a task exceeding
+// Config.CellTimeout records a deadline error, and failed tasks are retried
+// per Config.Retries; none of these faults can take down the sweep or
+// another cell. The returned RunStats counts restored, failed, retried and
+// recovered work.
+func RunContext(ctx context.Context, fig Figure, cfg Config, progress io.Writer) ([]Measurement, *RunStats, error) {
 	if cfg.Repeats <= 0 {
 		cfg.Repeats = 1
 	}
 	nP, nA, nR := len(fig.Points), len(fig.Algorithms), cfg.Repeats
 	nCells := nP * nA
+	rs := &RunStats{Cells: nCells}
 	if nCells == 0 {
-		return nil, nil
-	}
-	tasks := nCells * nR
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > tasks {
-		workers = tasks
+		return nil, rs, ctx.Err()
 	}
 
 	// One lazily generated workload per (point, repeat), shared by every
 	// algorithm cell at that coordinate.
 	wls := make([]sharedWorkload, nP*nR)
 
-	type repResult struct {
-		prf metrics.PRF
-		dur time.Duration
-		err error
-	}
 	// Task ti ↦ (point pi, algorithm ai, repeat rep), cell-major so that a
 	// cell's repeats are contiguous: ti = (pi*nA+ai)*nR + rep.
-	results := make([]repResult, tasks)
+	results := make([]repResult, nCells*nR)
 	remaining := make([]int32, nCells) // unfinished repeats per cell
 	for ci := range remaining {
 		remaining[ci] = int32(nR)
 	}
 	ms := make([]Measurement, nCells)
 
-	emit := &orderedEmitter{progress: progress, figID: fig.ID, ready: make([]bool, nCells)}
+	emit := &orderedEmitter{progress: progress, figID: fig.ID, ready: make([]bool, nCells), restored: make([]bool, nCells)}
+
+	var retried, recovered atomic.Int64
+	var journalMu sync.Mutex
+	var journalErr error // first checkpoint-append failure
 
 	aggregate := func(ci int) {
 		pi, ai := ci/nA, ci%nA
@@ -185,9 +281,13 @@ func Run(fig Figure, cfg Config, progress io.Writer) ([]Measurement, error) {
 		var fs []float64
 		var pSum, rSum float64
 		var tSum time.Duration
+		cancelled := false
 		for rep := 0; rep < nR; rep++ {
 			r := &results[ci*nR+rep]
 			if r.err != nil {
+				if errors.Is(r.err, context.Canceled) {
+					cancelled = true
+				}
 				if meas.Err == nil {
 					meas.Err = r.err
 				}
@@ -209,6 +309,20 @@ func Run(fig Figure, cfg Config, progress io.Writer) ([]Measurement, error) {
 			meas.Runtime = tSum / time.Duration(len(fs))
 		}
 		ms[ci] = meas
+		// A cell touched by run-level cancellation is not finished work: it
+		// is never journaled, so a resume re-runs it from scratch.
+		if cancelled {
+			return
+		}
+		if cfg.Checkpoint != nil {
+			if err := cfg.Checkpoint.Append(pi, meas); err != nil {
+				journalMu.Lock()
+				if journalErr == nil {
+					journalErr = err
+				}
+				journalMu.Unlock()
+			}
+		}
 	}
 
 	runTask := func(ti int) {
@@ -216,21 +330,60 @@ func Run(fig Figure, cfg Config, progress io.Writer) ([]Measurement, error) {
 		rep := ti % nR
 		pi, ai := ci/nA, ci%nA
 		pt := &fig.Points[pi]
+		algo := fig.Algorithms[ai]
 		r := &results[ti]
-		g, sim, err := wls[pi*nR+rep].get(pt.Workload, cellSeed(cfg.Seed, pi, rep))
-		if err != nil {
-			r.err = err
-		} else {
-			r.prf, r.dur, r.err = runAlgo(pt, fig.Algorithms[ai], g, sim)
+		r.prf, r.dur, r.err = runTaskAttempt(ctx, cfg, pt, algo, &wls[pi*nR+rep], cellSeed(cfg.Seed, pi, rep))
+		// Retries: deterministic because the attempt sequence runs inside
+		// the owning task, each with its own derived seed and fresh
+		// workload. Run-level cancellation is never retried.
+		for attempt := 1; r.err != nil && attempt <= cfg.Retries && ctx.Err() == nil; attempt++ {
+			retried.Add(1)
+			var fresh sharedWorkload
+			prf, dur, err := runTaskAttempt(ctx, cfg, pt, algo, &fresh, retrySeed(cfg.Seed, pi, rep, attempt))
+			r.prf, r.dur, r.err = prf, dur, err
+			if err == nil {
+				recovered.Add(1)
+			}
 		}
+		r.ran = true
 		if atomic.AddInt32(&remaining[ci], -1) == 0 {
 			aggregate(ci)
 			emit.markDone(ci, ms)
 		}
 	}
 
+	// Restore checkpointed cells first, then build the task list from what
+	// remains. Restored cells keep their preassigned slots, so ordering —
+	// and therefore report output — is identical to an uninterrupted run.
+	var tasks []int
+	for ci := 0; ci < nCells; ci++ {
+		pi, ai := ci/nA, ci%nA
+		key := CellKey{Figure: fig.ID, PointIndex: pi, Algorithm: fig.Algorithms[ai]}
+		if m, ok := cfg.Resume[key]; ok && m.Point == fig.Points[pi].Label {
+			ms[ci] = m
+			remaining[ci] = 0
+			rs.Restored++
+			emit.markRestored(ci)
+			emit.markDone(ci, ms)
+			continue
+		}
+		for rep := 0; rep < nR; rep++ {
+			tasks = append(tasks, ci*nR+rep)
+		}
+	}
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
 	if workers <= 1 {
-		for ti := 0; ti < tasks; ti++ {
+		for _, ti := range tasks {
+			if ctx.Err() != nil {
+				break
+			}
 			runTask(ti)
 		}
 	} else {
@@ -240,18 +393,54 @@ func Run(fig Figure, cfg Config, progress io.Writer) ([]Measurement, error) {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				for {
-					ti := int(next.Add(1)) - 1
-					if ti >= tasks {
+				for ctx.Err() == nil {
+					k := int(next.Add(1)) - 1
+					if k >= len(tasks) {
 						return
 					}
-					runTask(ti)
+					runTask(tasks[k])
 				}
 			}()
 		}
 		wg.Wait()
 	}
-	return ms, nil
+
+	// On cancellation, mark every task that never ran and aggregate the
+	// cells still open, so the caller gets a complete, ordered measurement
+	// slice with the interruption recorded per cell.
+	if ctx.Err() != nil {
+		for ci := 0; ci < nCells; ci++ {
+			if remaining[ci] == 0 {
+				continue
+			}
+			for rep := 0; rep < nR; rep++ {
+				if r := &results[ci*nR+rep]; !r.ran {
+					r.err = fmt.Errorf("cell not run: %w", context.Canceled)
+				}
+			}
+			remaining[ci] = 0
+			aggregate(ci)
+			emit.markDone(ci, ms)
+		}
+	}
+
+	rs.Retried = int(retried.Load())
+	rs.Recovered = int(recovered.Load())
+	for ci := range ms {
+		if ms[ci].Err == nil {
+			continue
+		}
+		switch {
+		case errors.Is(ms[ci].Err, context.Canceled):
+			rs.CancelledCells++
+		case ms[ci].Completed == 0:
+			rs.FailedCells++
+		}
+	}
+	if journalErr != nil {
+		return ms, rs, fmt.Errorf("checkpoint journal: %w", journalErr)
+	}
+	return ms, rs, ctx.Err()
 }
 
 // orderedEmitter streams per-cell progress lines in point-major order
@@ -262,7 +451,19 @@ type orderedEmitter struct {
 	figID    string
 	mu       sync.Mutex
 	ready    []bool
+	restored []bool
 	emitted  int
+}
+
+// markRestored flags a cell as restored from a checkpoint so its progress
+// line carries a "(checkpoint)" marker. Call before markDone for the cell.
+func (e *orderedEmitter) markRestored(ci int) {
+	if e.progress == nil {
+		return
+	}
+	e.mu.Lock()
+	e.restored[ci] = true
+	e.mu.Unlock()
 }
 
 func (e *orderedEmitter) markDone(ci int, ms []Measurement) {
@@ -274,24 +475,43 @@ func (e *orderedEmitter) markDone(ci int, ms []Measurement) {
 	e.ready[ci] = true
 	for e.emitted < len(e.ready) && e.ready[e.emitted] {
 		m := &ms[e.emitted]
+		suffix := ""
+		if e.restored[e.emitted] {
+			suffix = " (checkpoint)"
+		}
 		switch {
 		case m.Completed == 0 && m.Err != nil:
-			fmt.Fprintf(e.progress, "%s %-12s %-10s ERROR: %v\n", e.figID, m.Point, m.Algorithm, m.Err)
+			fmt.Fprintf(e.progress, "%s %-12s %-10s ERROR: %v%s\n", e.figID, m.Point, m.Algorithm, m.Err, suffix)
 		case m.FailedRepeats > 0:
-			fmt.Fprintf(e.progress, "%s %-12s %-10s F=%.3f time=%v (%d/%d repeats failed, first: %v)\n",
+			fmt.Fprintf(e.progress, "%s %-12s %-10s F=%.3f time=%v (%d/%d repeats failed, first: %v)%s\n",
 				e.figID, m.Point, m.Algorithm, m.F, m.Runtime,
-				m.FailedRepeats, m.Completed+m.FailedRepeats, m.Err)
+				m.FailedRepeats, m.Completed+m.FailedRepeats, m.Err, suffix)
 		default:
-			fmt.Fprintf(e.progress, "%s %-12s %-10s F=%.3f time=%v\n", e.figID, m.Point, m.Algorithm, m.F, m.Runtime)
+			fmt.Fprintf(e.progress, "%s %-12s %-10s F=%.3f time=%v%s\n", e.figID, m.Point, m.Algorithm, m.F, m.Runtime, suffix)
 		}
 		e.emitted++
 	}
 }
 
-// runAlgo times one algorithm on a pre-generated workload.
-func runAlgo(pt *Point, algo Algorithm, g *graph.Directed, sim *diffusion.Result) (metrics.PRF, time.Duration, error) {
+// algoHooks lets tests substitute an algorithm's implementation (e.g. a
+// panicking or blocking fake) without widening the Figure API. Keyed by
+// Algorithm; consulted before the real dispatch. Not safe to mutate while a
+// run is in flight.
+var algoHooks map[Algorithm]func(ctx context.Context, g *graph.Directed, sim *diffusion.Result) (metrics.PRF, error)
+
+// runAlgo times one algorithm on a pre-generated workload. The context
+// carries the per-cell deadline and run-level cancellation into the
+// algorithm's iteration loops.
+func runAlgo(ctx context.Context, pt *Point, algo Algorithm, g *graph.Directed, sim *diffusion.Result) (metrics.PRF, time.Duration, error) {
 	start := time.Now()
 	var prf metrics.PRF
+	if hook, ok := algoHooks[algo]; ok {
+		prf, err := hook(ctx, g, sim)
+		if err != nil {
+			return metrics.PRF{}, 0, err
+		}
+		return prf, time.Since(start), nil
+	}
 	switch algo {
 	case AlgoTENDS, AlgoTENDSMI:
 		opt := core.Options{}
@@ -301,36 +521,44 @@ func runAlgo(pt *Point, algo Algorithm, g *graph.Directed, sim *diffusion.Result
 		if algo == AlgoTENDSMI {
 			opt.TraditionalMI = true
 		}
-		res, err := core.Infer(sim.Statuses, opt)
+		res, err := core.InferContext(ctx, sim.Statuses, opt)
 		if err != nil {
 			return metrics.PRF{}, 0, err
 		}
 		prf = metrics.Score(g, res.Graph)
 	case AlgoNetRate:
-		preds, err := netrate.Infer(sim, netrate.Options{})
+		preds, err := netrate.InferContext(ctx, sim, netrate.Options{})
 		if err != nil {
 			return metrics.PRF{}, 0, err
 		}
 		prf, _ = metrics.BestF(g, preds)
 	case AlgoMulTree:
-		inferred, err := multree.Infer(sim, g.NumEdges(), multree.Options{})
+		inferred, err := multree.InferContext(ctx, sim, g.NumEdges(), multree.Options{})
 		if err != nil {
 			return metrics.PRF{}, 0, err
 		}
 		prf = metrics.Score(g, inferred)
 	case AlgoNetInf:
-		inferred, err := netinf.Infer(sim, g.NumEdges(), netinf.Options{})
+		inferred, err := netinf.InferContext(ctx, sim, g.NumEdges(), netinf.Options{})
 		if err != nil {
 			return metrics.PRF{}, 0, err
 		}
 		prf = metrics.Score(g, inferred)
 	case AlgoLIFT:
+		// LIFT is a single pass over the observation matrix with no long
+		// iteration loop; a pre-check keeps cancelled cells from starting it.
+		if err := ctx.Err(); err != nil {
+			return metrics.PRF{}, 0, err
+		}
 		inferred, err := lift.InferTopM(sim, g.NumEdges(), lift.Options{})
 		if err != nil {
 			return metrics.PRF{}, 0, err
 		}
 		prf = metrics.Score(g, inferred)
 	case AlgoPATH:
+		if err := ctx.Err(); err != nil {
+			return metrics.PRF{}, 0, err
+		}
 		traces, err := path.TracesFromCascades(sim, 3)
 		if err != nil {
 			return metrics.PRF{}, 0, err
@@ -366,5 +594,5 @@ func lfrNetwork(index int) func(int64) (*graph.Directed, error) {
 	}
 }
 
-func netSciNetwork(seed int64) (*graph.Directed, error) { return datasets.NetSci(seed), nil }
-func dunfNetwork(seed int64) (*graph.Directed, error)   { return datasets.DUNF(seed), nil }
+func netSciNetwork(seed int64) (*graph.Directed, error) { return datasets.NetSci(seed) }
+func dunfNetwork(seed int64) (*graph.Directed, error)   { return datasets.DUNF(seed) }

@@ -21,3 +21,20 @@ func cellSeed(base int64, point, rep int) int64 {
 	h = splitmix64(h ^ uint64(rep))
 	return int64(h)
 }
+
+// retrySeedTag separates the retry seed stream from the primary cellSeed
+// stream: without it, attempt 0's reseeded retries could collide with other
+// cells' primary seeds. Arbitrary odd constant.
+const retrySeedTag = 0xa5a5_5a5a_d00d_feed
+
+// retrySeed derives the workload seed of retry attempt ≥ 1 of one
+// (point, repeat) task. Chained like cellSeed but tagged, so the retry
+// streams are deterministic, per-attempt distinct, and disjoint from every
+// primary stream.
+func retrySeed(base int64, point, rep, attempt int) int64 {
+	h := splitmix64(uint64(base) ^ retrySeedTag)
+	h = splitmix64(h ^ uint64(point))
+	h = splitmix64(h ^ uint64(rep))
+	h = splitmix64(h ^ uint64(attempt))
+	return int64(h)
+}
