@@ -12,6 +12,9 @@
 //	benchfig -all -workers 8   # run up to 8 cells concurrently
 //	benchfig -fig 1 -checkpoint run.jsonl   # journal completed cells
 //	benchfig -fig 1 -resume run.jsonl       # skip cells already journaled
+//	benchfig -all -progress                 # throttled cells-done/ETA line
+//	benchfig -fig 4 -obs-json obs.json      # dump phase timings and counters
+//	benchfig -all -pprof localhost:6060     # live CPU/heap profiles
 //
 // Each (point, repeat) workload is generated once and shared by every
 // compared algorithm; -workers bounds how many (point, repeat, algorithm)
@@ -43,6 +46,7 @@ import (
 	"tends/internal/datasets"
 	"tends/internal/experiments"
 	"tends/internal/graph"
+	"tends/internal/obs"
 )
 
 // Exit codes of the benchfig process.
@@ -67,6 +71,9 @@ type runOpts struct {
 	retries     int
 	checkpoint  string
 	resume      string
+	obsJSON     string
+	progress    bool
+	pprofAddr   string
 }
 
 func main() {
@@ -87,6 +94,9 @@ func main() {
 	flag.IntVar(&o.retries, "retries", 0, "re-run a failed cell repeat up to this many times with fresh derived seeds")
 	flag.StringVar(&o.checkpoint, "checkpoint", "", "append completed cells to this JSONL journal")
 	flag.StringVar(&o.resume, "resume", "", "restore completed cells from this JSONL journal and continue it")
+	flag.StringVar(&o.obsJSON, "obs-json", "", "write an observability snapshot (counters, gauges, phase timings) as JSON to this file")
+	flag.BoolVar(&o.progress, "progress", false, "print a throttled cells-done/ETA line to stderr")
+	flag.StringVar(&o.pprofAddr, "pprof", "", "serve net/http/pprof on this address, e.g. localhost:6060")
 	flag.Parse()
 
 	if *ablation != "" {
@@ -304,6 +314,22 @@ func run(ctx context.Context, o runOpts) (int, error) {
 	if !o.quiet {
 		progress = os.Stderr
 	}
+	// The observability recorder is a pure side channel (measurements, CSV
+	// bytes, and the journal are identical with and without it), so it is
+	// created whenever any obs output was requested.
+	var rec *obs.Recorder
+	if o.obsJSON != "" || o.progress {
+		rec = obs.New()
+	}
+	if o.pprofAddr != "" {
+		if err := startPprof(o.pprofAddr); err != nil {
+			return exitErr, err
+		}
+	}
+	if o.progress {
+		stop := startProgress(rec, os.Stderr)
+		defer stop()
+	}
 	var allMeasurements []experiments.Measurement
 	var total experiments.RunStats
 	interrupted := false
@@ -320,6 +346,7 @@ func run(ctx context.Context, o runOpts) (int, error) {
 			Retries:     o.retries,
 			Checkpoint:  journal,
 			Resume:      resumeCells,
+			Obs:         rec,
 		}
 		ms, rs, err := experiments.RunContext(ctx, fig, cfg, progress)
 		if err != nil && !errors.Is(err, context.Canceled) {
@@ -346,6 +373,21 @@ func run(ctx context.Context, o runOpts) (int, error) {
 			return exitErr, err
 		}
 		if err := experiments.WriteCSV(f, allMeasurements); err != nil {
+			f.Close()
+			return exitErr, err
+		}
+		if err := f.Close(); err != nil {
+			return exitErr, err
+		}
+	}
+	// The snapshot is written even after an interruption — a partial run's
+	// phase profile is exactly what a timeout investigation needs.
+	if o.obsJSON != "" {
+		f, err := os.Create(o.obsJSON)
+		if err != nil {
+			return exitErr, err
+		}
+		if err := rec.WriteJSON(f); err != nil {
 			f.Close()
 			return exitErr, err
 		}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/ on http.DefaultServeMux
+	"os"
+	"sync"
+	"time"
+
+	"tends/internal/obs"
+)
+
+// startPprof exposes the process's net/http/pprof handlers on addr. The
+// listener is opened synchronously so a bad address fails the run up front;
+// the server then lives for the remainder of the process.
+func startPprof(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("pprof listen: %w", err)
+	}
+	go func() { _ = http.Serve(ln, nil) }()
+	fmt.Fprintf(os.Stderr, "benchfig: pprof on http://%s/debug/pprof/\n", ln.Addr())
+	return nil
+}
+
+// startProgress emits a throttled cells-done/ETA line to out by polling the
+// recorder's cell counters. The returned stop function ends the ticker and
+// waits for the goroutine, so no line races the final report output.
+func startProgress(rec *obs.Recorder, out io.Writer) (stop func()) {
+	start := time.Now()
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(2 * time.Second)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				s := rec.Snapshot()
+				total := s.Counters["experiments/cells_total"]
+				d := s.Counters["experiments/cells_done"]
+				if total == 0 {
+					continue
+				}
+				line := fmt.Sprintf("benchfig: %d/%d cells (%d%%)", d, total, d*100/total)
+				if d > 0 && d < total {
+					eta := time.Duration(float64(time.Since(start)) / float64(d) * float64(total-d))
+					line += fmt.Sprintf(", eta %v", eta.Round(time.Second))
+				}
+				fmt.Fprintln(out, line)
+			}
+		}
+	}()
+	return func() { close(done); wg.Wait() }
+}

@@ -25,6 +25,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/ on http.DefaultServeMux
 	"os"
 	"os/signal"
 	"syscall"
@@ -32,6 +35,7 @@ import (
 	"tends/internal/core"
 	"tends/internal/diffusion"
 	"tends/internal/graph"
+	"tends/internal/obs"
 	"tends/internal/probest"
 )
 
@@ -46,6 +50,8 @@ func main() {
 		probsPath = flag.String("probs", "", "also estimate per-edge propagation probabilities into this file")
 		workers   = flag.Int("workers", 0, "parallel search workers (0 = all CPUs)")
 		verbose   = flag.Bool("verbose", false, "print threshold and score diagnostics to stderr")
+		obsJSON   = flag.String("obs-json", "", "write an observability snapshot (stage timings, counters) as JSON to this file")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address, e.g. localhost:6060")
 	)
 	flag.Parse()
 	if *inPath == "" {
@@ -58,7 +64,33 @@ func main() {
 	// is abandoned, and the process exits with the conventional 130.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *inPath, *outPath, *combo, *scale, *threshold, *useMI, *verbose, *workers); err != nil {
+	if *pprofAddr != "" {
+		ln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tends: pprof listen: %v\n", err)
+			os.Exit(1)
+		}
+		go func() { _ = http.Serve(ln, nil) }()
+		fmt.Fprintf(os.Stderr, "tends: pprof on http://%s/debug/pprof/\n", ln.Addr())
+	}
+	// The recorder is a side channel: the inferred topology is identical
+	// with and without it, and the snapshot is written even after a
+	// cancelled run (a partial stage profile is still diagnostic).
+	var rec *obs.Recorder
+	if *obsJSON != "" {
+		rec = obs.New()
+		ctx = obs.With(ctx, rec)
+	}
+	err := run(ctx, *inPath, *outPath, *combo, *scale, *threshold, *useMI, *verbose, *workers)
+	if *obsJSON != "" {
+		if oerr := writeObsJSON(*obsJSON, rec); oerr != nil {
+			fmt.Fprintf(os.Stderr, "tends: %v\n", oerr)
+			if err == nil {
+				err = oerr
+			}
+		}
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "tends: %v\n", err)
 		if errors.Is(err, context.Canceled) {
 			os.Exit(130)
@@ -71,6 +103,19 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// writeObsJSON dumps the recorder's snapshot to path.
+func writeObsJSON(path string, rec *obs.Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // estimateProbs re-reads the inference inputs/outputs and writes one

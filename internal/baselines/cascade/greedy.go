@@ -9,6 +9,7 @@ import (
 
 	"tends/internal/graph"
 	"tends/internal/metrics"
+	"tends/internal/obs"
 )
 
 // GainModel abstracts the difference between MulTree and NetInf: how much
@@ -98,6 +99,13 @@ func GreedyContext(ctx context.Context, s *Set, model GainModel, budget int) (*G
 	if budget < 0 {
 		return nil, fmt.Errorf("cascade: negative budget %d", budget)
 	}
+	// Telemetry (no-op without a recorder in ctx): gain evaluations measure
+	// how much work the lazy heap actually re-touches; selections count the
+	// greedy's accepted edges.
+	rec := obs.From(ctx)
+	defer rec.StartSpan("cascade/greedy").End()
+	evalsC := rec.Counter("cascade/greedy/gain_evals")
+	selectedC := rec.Counter("cascade/greedy/selected")
 	// Per-target per-event states.
 	states := make([][]float64, s.N)
 	for v := 0; v < s.N; v++ {
@@ -107,6 +115,7 @@ func GreedyContext(ctx context.Context, s *Set, model GainModel, budget int) (*G
 		}
 	}
 	gainOf := func(u, v int) float64 {
+		evalsC.Inc()
 		var g float64
 		for i, e := range s.ByTarget[v] {
 			if w, ok := e.WeightOf(u); ok {
@@ -148,6 +157,7 @@ func GreedyContext(ctx context.Context, s *Set, model GainModel, budget int) (*G
 			continue
 		}
 		heap.Pop(&pq)
+		selectedC.Inc()
 		res.Graph.AddEdge(top.u, top.v)
 		res.Edges = append(res.Edges, metrics.WeightedEdge{
 			Edge:   graph.Edge{From: top.u, To: top.v},

@@ -14,12 +14,14 @@
 package lift
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"tends/internal/diffusion"
 	"tends/internal/graph"
 	"tends/internal/metrics"
+	"tends/internal/obs"
 )
 
 // Options tunes LIFT.
@@ -42,6 +44,16 @@ func (o Options) withDefaults() Options {
 // scored pair as a weighted edge, strongest first. Use metrics.TopK (or
 // InferTopM) to cut the ranking at a known edge count.
 func Infer(res *diffusion.Result, opt Options) ([]metrics.WeightedEdge, error) {
+	return InferContext(context.Background(), res, opt)
+}
+
+// InferContext is Infer under a context. LIFT is a single pass with no long
+// iteration loop, so the context carries no cancellation here — only the
+// observability recorder (see internal/obs): a span for the pass and a
+// counter of scored pairs.
+func InferContext(ctx context.Context, res *diffusion.Result, opt Options) ([]metrics.WeightedEdge, error) {
+	rec := obs.From(ctx)
+	defer rec.StartSpan("lift/infer").End()
 	opt = opt.withDefaults()
 	n := res.N
 	beta := len(res.Cascades)
@@ -93,6 +105,7 @@ func Infer(res *diffusion.Result, opt Options) ([]metrics.WeightedEdge, error) {
 			}
 		}
 	}
+	rec.Counter("lift/pairs_scored").Add(int64(len(out)))
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Weight > out[j].Weight })
 	return out, nil
 }
@@ -100,7 +113,12 @@ func Infer(res *diffusion.Result, opt Options) ([]metrics.WeightedEdge, error) {
 // InferTopM runs Infer and keeps the m strongest pairs as the inferred edge
 // set, mirroring how the paper evaluates LIFT (the true edge count is given).
 func InferTopM(res *diffusion.Result, m int, opt Options) (*graph.Directed, error) {
-	ranked, err := Infer(res, opt)
+	return InferTopMContext(context.Background(), res, m, opt)
+}
+
+// InferTopMContext is InferTopM under a context; see InferContext.
+func InferTopMContext(ctx context.Context, res *diffusion.Result, m int, opt Options) (*graph.Directed, error) {
+	ranked, err := InferContext(ctx, res, opt)
 	if err != nil {
 		return nil, err
 	}

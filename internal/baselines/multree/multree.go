@@ -21,6 +21,7 @@ import (
 	"tends/internal/baselines/cascade"
 	"tends/internal/diffusion"
 	"tends/internal/graph"
+	"tends/internal/obs"
 )
 
 // Options tunes MulTree.
@@ -37,6 +38,7 @@ func Infer(res *diffusion.Result, m int, opt Options) (*graph.Directed, error) {
 // InferContext is Infer with cooperative cancellation inside the greedy
 // edge-selection loop.
 func InferContext(ctx context.Context, res *diffusion.Result, m int, opt Options) (*graph.Directed, error) {
+	defer obs.From(ctx).StartSpan("multree/infer").End()
 	set, err := cascade.Build(res, cascade.Options{Lambda: opt.Lambda, Epsilon: opt.Epsilon})
 	if err != nil {
 		return nil, err

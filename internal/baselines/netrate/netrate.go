@@ -31,6 +31,7 @@ import (
 	"tends/internal/diffusion"
 	"tends/internal/graph"
 	"tends/internal/metrics"
+	"tends/internal/obs"
 )
 
 // Options tunes the NetRate solver.
@@ -69,6 +70,12 @@ func Infer(res *diffusion.Result, opt Options) ([]metrics.WeightedEdge, error) {
 // iterations, so a cancelled or timed-out context interrupts a long (or
 // non-converging) solve promptly with the context's error.
 func InferContext(ctx context.Context, res *diffusion.Result, opt Options) ([]metrics.WeightedEdge, error) {
+	// Telemetry (no-op without a recorder in ctx): one span per solve, EM
+	// iterations and solved nodes counted across the per-node subproblems.
+	rec := obs.From(ctx)
+	defer rec.StartSpan("netrate/infer").End()
+	itersC := rec.Counter("netrate/em_iters")
+	nodesC := rec.Counter("netrate/nodes_solved")
 	opt = opt.withDefaults()
 	if len(res.Cascades) == 0 {
 		return nil, fmt.Errorf("netrate: no cascades")
@@ -95,7 +102,8 @@ func InferContext(ctx context.Context, res *diffusion.Result, opt Options) ([]me
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("netrate: %w", err)
 		}
-		rates := solveNode(ctx, i, res, times, horizon, opt)
+		rates := solveNode(ctx, i, res, times, horizon, opt, itersC)
+		nodesC.Inc()
 		for j, a := range rates {
 			if a > opt.MinRate {
 				out = append(out, metrics.WeightedEdge{
@@ -115,7 +123,7 @@ func InferContext(ctx context.Context, res *diffusion.Result, opt Options) ([]me
 // solveNode maximizes L_i over the rates of node i's potential sources. A
 // cancelled context stops the EM iterations early; the caller discards the
 // partial rates.
-func solveNode(ctx context.Context, i int, res *diffusion.Result, times [][]float64, horizon []float64, opt Options) map[int]float64 {
+func solveNode(ctx context.Context, i int, res *diffusion.Result, times [][]float64, horizon []float64, opt Options, itersC *obs.Counter) map[int]float64 {
 	// d[j]: total exposure duration of j toward i across cascades.
 	// parents[c]: sources that could have infected i in cascade c.
 	d := make(map[int]float64)
@@ -164,6 +172,7 @@ func solveNode(ctx context.Context, i int, res *diffusion.Result, times [][]floa
 		return nil
 	}
 	for iter := 0; iter < opt.Iterations && ctx.Err() == nil; iter++ {
+		itersC.Inc()
 		// Responsibilities: acc[j] = Σ_c α_j / S_c over cascades where j
 		// is a potential parent of i.
 		acc := make(map[int]float64, len(rates))

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 
 	"tends/internal/diffusion"
+	"tends/internal/obs"
 	"tends/internal/stats"
 )
 
@@ -72,6 +73,13 @@ func ComputeIMIWorkers(sm *diffusion.StatusMatrix, traditional bool, workers int
 // the hook the experiment harness uses to impose per-cell deadlines on
 // TENDS runs.
 func ComputeIMIContext(ctx context.Context, sm *diffusion.StatusMatrix, traditional bool, workers int) (*IMIMatrix, error) {
+	// Telemetry handles are resolved once up front; on a recorder-less
+	// context they are nil and every update below is an allocation-free
+	// no-op, so the pairwise hot loop pays nothing.
+	rec := obs.From(ctx)
+	defer rec.StartSpan("core/imi").End()
+	rowsC := rec.Counter("core/imi/rows")
+	pairsC := rec.Counter("core/imi/pairs")
 	n := sm.N()
 	m := &IMIMatrix{n: n, vals: make([]float64, n*(n-1)/2)}
 	if n < 2 {
@@ -108,6 +116,8 @@ func ComputeIMIContext(ctx context.Context, sm *diffusion.StatusMatrix, traditio
 				m.vals[base+j-i-1] = c11 + c00 - math.Abs(c10) - math.Abs(c01)
 			}
 		}
+		rowsC.Inc()
+		pairsC.Add(int64(n - 1 - i))
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)

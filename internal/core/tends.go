@@ -10,6 +10,7 @@ import (
 
 	"tends/internal/diffusion"
 	"tends/internal/graph"
+	"tends/internal/obs"
 )
 
 // Options tunes the TENDS algorithm. The zero value reproduces the paper's
@@ -164,10 +165,20 @@ func InferContext(ctx context.Context, sm *diffusion.StatusMatrix, opt Options) 
 		return nil, fmt.Errorf("core: ThresholdScale must be non-negative, got %v", opt.ThresholdScale)
 	}
 
+	// Telemetry: nil handles (no recorder in ctx) make every update below a
+	// free no-op; inference output is never affected.
+	rec := obs.From(ctx)
+	defer rec.StartSpan("core/infer").End()
+	tel := coreTel{
+		combos: rec.Counter("core/search/combos"),
+		merges: rec.Counter("core/search/merges"),
+	}
+
 	imi, err := ComputeIMIContext(ctx, sm, opt.TraditionalMI, opt.Workers)
 	if err != nil {
 		return nil, fmt.Errorf("core: IMI stage: %w", err)
 	}
+	thresholdSpan := rec.StartSpan("core/threshold")
 	var autoTau float64
 	switch opt.ThresholdMethod {
 	case ThresholdAuto:
@@ -200,6 +211,8 @@ func InferContext(ctx context.Context, sm *diffusion.StatusMatrix, opt Options) 
 			res.NodeThresholds[i] = SelectNodeThreshold(imi, i) * opt.ThresholdScale
 		}
 	}
+	thresholdSpan.End()
+	searchSpan := rec.StartSpan("core/search")
 	searchNode := func(i int) []int {
 		nodeTau := tau
 		if perNode {
@@ -211,7 +224,7 @@ func InferContext(ctx context.Context, sm *diffusion.StatusMatrix, opt Options) 
 			cands = cands[:opt.MaxCandidates]
 			sort.Ints(cands)
 		}
-		return searchParents(ctx, scorer, i, cands, opt)
+		return searchParents(ctx, scorer, i, cands, opt, tel)
 	}
 
 	workers := opt.Workers
@@ -249,6 +262,7 @@ func InferContext(ctx context.Context, sm *diffusion.StatusMatrix, opt Options) 
 		close(next)
 		wg.Wait()
 	}
+	searchSpan.End()
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("core: parent search: %w", err)
 	}
@@ -261,23 +275,31 @@ func InferContext(ctx context.Context, sm *diffusion.StatusMatrix, opt Options) 
 	return res, nil
 }
 
+// coreTel bundles the telemetry handles the per-node searches update; the
+// zero value (nil counters) is a valid no-op.
+type coreTel struct {
+	combos *obs.Counter // combinations enumerated across all nodes
+	merges *obs.Counter // greedy merge steps accepted across all nodes
+}
+
 // searchParents runs the greedy most-probable-parent-set search for one
 // node over the pruned candidate set. A cancelled context makes it bail out
 // between phases with whatever partial answer it has; InferContext discards
 // the partial topology and surfaces the context error.
-func searchParents(ctx context.Context, s *Scorer, child int, cands []int, opt Options) []int {
+func searchParents(ctx context.Context, s *Scorer, child int, cands []int, opt Options, tel coreTel) []int {
 	if len(cands) == 0 {
 		return nil
 	}
 	combos := enumerateCombos(ctx, s, child, cands, opt)
+	tel.combos.Add(int64(len(combos)))
 	if len(combos) == 0 || ctx.Err() != nil {
 		return nil
 	}
 	var parents []int
 	if opt.StaticGreedy {
-		parents = staticMerge(s, child, combos, opt)
+		parents = staticMerge(s, child, combos, opt, tel.merges)
 	} else {
-		parents = adaptiveMerge(ctx, s, child, combos, opt)
+		parents = adaptiveMerge(ctx, s, child, combos, opt, tel.merges)
 	}
 	if opt.BackwardPrune {
 		parents = backwardPrune(s, child, parents)
@@ -393,7 +415,7 @@ func enumerateCombos(ctx context.Context, s *Scorer, child int, cands []int, opt
 // heap top is re-evaluated against the grown F. Improvements shrink as F
 // absorbs the signal a combination carries, so stale heads re-sink and the
 // scan touches a small fraction of the combination pool per iteration.
-func adaptiveMerge(ctx context.Context, s *Scorer, child int, combos []combo, opt Options) []int {
+func adaptiveMerge(ctx context.Context, s *Scorer, child int, combos []combo, opt Options, merges *obs.Counter) []int {
 	inF := make(map[int]bool)
 	var parents []int
 	curScore := s.LocalScore(child, nil)
@@ -440,6 +462,7 @@ func adaptiveMerge(ctx context.Context, s *Scorer, child int, combos []combo, op
 		for _, v := range parents {
 			inF[v] = true
 		}
+		merges.Inc()
 		round++
 	}
 	sort.Ints(parents)
@@ -471,7 +494,7 @@ func (h *comboHeap) Pop() any {
 // staticMerge is Algorithm 1 taken literally: walk combinations in
 // descending standalone score and merge each whose union with F keeps the
 // Theorem-2 bound.
-func staticMerge(s *Scorer, child int, combos []combo, opt Options) []int {
+func staticMerge(s *Scorer, child int, combos []combo, opt Options, merges *obs.Counter) []int {
 	sorted := append([]combo(nil), combos...)
 	sort.SliceStable(sorted, func(a, b int) bool { return sorted[a].score > sorted[b].score })
 	inF := make(map[int]bool)
@@ -489,6 +512,7 @@ func staticMerge(s *Scorer, child int, combos []combo, opt Options) []int {
 		for _, v := range parents {
 			inF[v] = true
 		}
+		merges.Inc()
 	}
 	sort.Ints(parents)
 	return parents

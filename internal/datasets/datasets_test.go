@@ -5,6 +5,7 @@ import (
 
 	"tends/internal/graph"
 )
+
 // mustNetSci / mustDUNF unwrap the constructors' error returns; generation
 // failure is a test failure.
 func mustNetSci(t *testing.T, seed int64) *graph.Directed {
@@ -24,7 +25,6 @@ func mustDUNF(t *testing.T, seed int64) *graph.Directed {
 	}
 	return g
 }
-
 
 func TestNetSciShape(t *testing.T) {
 	g := mustNetSci(t, 1)

@@ -23,10 +23,12 @@
 package diffusion
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"tends/internal/graph"
+	"tends/internal/obs"
 	"tends/internal/stats"
 )
 
@@ -133,6 +135,21 @@ type Config struct {
 // Simulate runs cfg.Beta independent-cascade processes on the network
 // described by ep and returns the observations.
 func Simulate(ep *EdgeProbs, cfg Config, rng *rand.Rand) (*Result, error) {
+	return SimulateContext(context.Background(), ep, cfg, rng)
+}
+
+// SimulateContext is Simulate under a context. The simulation itself is
+// never cancelled (it is cheap relative to inference, and partial
+// observation data is useless); the context only carries the observability
+// recorder (see internal/obs), which tallies processes, infections and
+// diffusion rounds and times the whole run. Results are identical to
+// Simulate's for the same inputs.
+func SimulateContext(ctx context.Context, ep *EdgeProbs, cfg Config, rng *rand.Rand) (*Result, error) {
+	rec := obs.From(ctx)
+	defer rec.StartSpan("diffusion/simulate").End()
+	procC := rec.Counter("diffusion/processes")
+	infC := rec.Counter("diffusion/infections")
+	roundC := rec.Counter("diffusion/rounds")
 	n := ep.g.NumNodes()
 	if n == 0 {
 		return nil, fmt.Errorf("diffusion: empty network")
@@ -160,6 +177,13 @@ func Simulate(ep *EdgeProbs, cfg Config, rng *rand.Rand) (*Result, error) {
 		res.Cascades[proc] = cascade
 		for _, inf := range cascade.Infections {
 			res.Statuses.Set(proc, inf.Node, true)
+		}
+		procC.Inc()
+		infC.Add(int64(len(cascade.Infections)))
+		// Infections are appended in round order, so the last one carries
+		// the process's final round.
+		if len(cascade.Infections) > 0 {
+			roundC.Add(int64(cascade.Infections[len(cascade.Infections)-1].Round))
 		}
 	}
 	return res, nil

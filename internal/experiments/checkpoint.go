@@ -50,6 +50,11 @@ type journalCell struct {
 	Completed     int     `json:"completed"`
 	FailedRepeats int     `json:"failed_repeats"`
 	Error         string  `json:"error,omitempty"`
+	// Phase breakdown (see Measurement); omitempty keeps records from runs
+	// without timings compact, and old readers ignore the unknown keys.
+	WorkloadNS int64 `json:"workload_ns,omitempty"`
+	InferNS    int64 `json:"infer_ns,omitempty"`
+	MetricsNS  int64 `json:"metrics_ns,omitempty"`
 }
 
 // Journal appends completed-cell records to a checkpoint stream, one JSON
@@ -93,6 +98,9 @@ func (j *Journal) Append(pointIndex int, m Measurement) error {
 		RuntimeNS:     int64(m.Runtime),
 		Completed:     m.Completed,
 		FailedRepeats: m.FailedRepeats,
+		WorkloadNS:    int64(m.PhaseWorkload),
+		InferNS:       int64(m.PhaseInfer),
+		MetricsNS:     int64(m.PhaseMetrics),
 	}
 	if m.Err != nil {
 		rec.Error = m.Err.Error()
@@ -181,6 +189,9 @@ func LoadJournal(r io.Reader) (*JournalHeader, map[CellKey]Measurement, []string
 				Runtime:       time.Duration(c.RuntimeNS),
 				Completed:     c.Completed,
 				FailedRepeats: c.FailedRepeats,
+				PhaseWorkload: time.Duration(c.WorkloadNS),
+				PhaseInfer:    time.Duration(c.InferNS),
+				PhaseMetrics:  time.Duration(c.MetricsNS),
 			}
 			if c.Error != "" {
 				m.Err = errors.New(c.Error)

@@ -120,3 +120,27 @@ func FuzzLoadJournal(f *testing.F) {
 		}
 	})
 }
+
+// TestJournalPhaseRoundTrip checks that a cell's phase breakdown survives a
+// journal write/load cycle, so a resumed run keeps its timing diagnostics.
+func TestJournalPhaseRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	j, err := NewJournal(&buf, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Measurement{Figure: "Fig1", Point: "n=200", Algorithm: AlgoTENDS,
+		F: 0.5, Runtime: 30 * time.Millisecond, Completed: 1,
+		PhaseWorkload: 5 * time.Millisecond, PhaseInfer: 28 * time.Millisecond, PhaseMetrics: 2 * time.Millisecond}
+	if err := j.Append(2, m); err != nil {
+		t.Fatal(err)
+	}
+	_, cells, _, err := LoadJournal(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := cells[CellKey{Figure: "Fig1", PointIndex: 2, Algorithm: AlgoTENDS}]
+	if got.PhaseWorkload != m.PhaseWorkload || got.PhaseInfer != m.PhaseInfer || got.PhaseMetrics != m.PhaseMetrics {
+		t.Fatalf("phase round-trip: got %+v, want %+v", got, m)
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"tends/internal/graph"
 	"tends/internal/lfr"
 	"tends/internal/metrics"
+	"tends/internal/obs"
 	"tends/internal/stats"
 )
 
@@ -98,6 +99,16 @@ type Measurement struct {
 	Completed     int
 	FailedRepeats int
 	Err           error
+	// PhaseWorkload, PhaseInfer and PhaseMetrics break the cell's work into
+	// phases, each the mean across completed repeats (like Runtime, which is
+	// ≈ PhaseInfer + PhaseMetrics). PhaseWorkload is the time spent
+	// acquiring the shared workload — generation for the repeat that built
+	// it, waiting on the builder for the rest — and is excluded from Runtime
+	// as before. Observability side channel only: journaled per cell, never
+	// written to the CSV output, and carrying no determinism guarantee.
+	PhaseWorkload time.Duration
+	PhaseInfer    time.Duration
+	PhaseMetrics  time.Duration
 }
 
 // Config controls a harness run.
@@ -133,6 +144,14 @@ type Config struct {
 	// checkpoint journal (see LoadJournal); cells found here are restored
 	// verbatim and never re-executed.
 	Resume map[CellKey]Measurement
+	// Obs, when non-nil, receives the run's observability stream: per-phase
+	// timing histograms, retry/timeout/panic counters, worker utilization,
+	// and the iteration telemetry the algorithm libraries report (the
+	// recorder is carried to them by context; see internal/obs). Purely a
+	// side channel — attaching a recorder never changes measurements, CSV
+	// bytes, or the checkpoint journal's cell identities. A recorder already
+	// attached to the context passed to RunContext is honored the same way.
+	Obs *obs.Recorder
 }
 
 // RunStats summarizes the fault-handling activity of one Run.
@@ -156,13 +175,17 @@ type sharedWorkload struct {
 	err  error
 }
 
-func (wl *sharedWorkload) get(w Workload, seed int64) (*graph.Directed, *diffusion.Result, error) {
+// get's ctx carries only the observability recorder into the generator (the
+// generation itself is never cancelled — a half-built workload is useless to
+// the other cells sharing it).
+func (wl *sharedWorkload) get(ctx context.Context, w Workload, seed int64) (*graph.Directed, *diffusion.Result, error) {
 	wl.once.Do(func() {
 		// A panicking generator must not poison the sync.Once (a panic
 		// marks it done, so every later caller would see nil results with
 		// no error); contain it into the shared error instead.
 		defer func() {
 			if rec := recover(); rec != nil {
+				obs.From(ctx).Counter("experiments/panics").Inc()
 				wl.err = fmt.Errorf("workload panic: %v", rec)
 			}
 		}()
@@ -171,7 +194,7 @@ func (wl *sharedWorkload) get(w Workload, seed int64) (*graph.Directed, *diffusi
 			wl.err = fmt.Errorf("network: %w", err)
 			return
 		}
-		sim, err := simulate(g, w.Mu, w.Alpha, w.Beta, seed)
+		sim, err := simulate(ctx, g, w.Mu, w.Alpha, w.Beta, seed)
 		if err != nil {
 			wl.err = fmt.Errorf("simulate: %w", err)
 			return
@@ -181,10 +204,18 @@ func (wl *sharedWorkload) get(w Workload, seed int64) (*graph.Directed, *diffusi
 	return wl.g, wl.sim, wl.err
 }
 
+// phaseTimes is the per-attempt phase breakdown of one task.
+type phaseTimes struct {
+	workload time.Duration // shared-workload acquisition (generation or wait)
+	infer    time.Duration // the algorithm's inference
+	metrics  time.Duration // scoring against the ground truth
+}
+
 // repResult is the outcome of one (point, repeat, algorithm) task.
 type repResult struct {
 	prf metrics.PRF
 	dur time.Duration
+	ph  phaseTimes
 	err error
 	ran bool // distinguishes "never claimed" from "ran and succeeded"
 }
@@ -192,16 +223,23 @@ type repResult struct {
 // runTaskAttempt executes one attempt of a (point, repeat, algorithm) task:
 // workload acquisition (shared on the primary attempt, fresh on retries),
 // then the algorithm under the per-cell deadline, with any panic along the
-// way recovered into the attempt's error.
-func runTaskAttempt(ctx context.Context, cfg Config, pt *Point, algo Algorithm, wl *sharedWorkload, seed int64) (prf metrics.PRF, dur time.Duration, err error) {
+// way recovered into the attempt's error. Phase durations are returned even
+// for failed attempts (whatever was measured before the failure) so the
+// recorder's histograms see where failing cells spend their time.
+func runTaskAttempt(ctx context.Context, cfg Config, pt *Point, algo Algorithm, wl *sharedWorkload, seed int64) (prf metrics.PRF, dur time.Duration, ph phaseTimes, err error) {
+	rcd := obs.From(ctx)
 	defer func() {
 		if rec := recover(); rec != nil {
+			rcd.Counter("experiments/panics").Inc()
 			err = fmt.Errorf("panic in %s: %v\n%s", algo, rec, firstStackLines(debug.Stack(), 8))
 		}
 	}()
-	g, sim, err := wl.get(pt.Workload, seed)
+	wlStart := time.Now()
+	g, sim, err := wl.get(ctx, pt.Workload, seed)
+	ph.workload = time.Since(wlStart)
+	rcd.Histogram("experiments/phase/workload").Observe(ph.workload)
 	if err != nil {
-		return metrics.PRF{}, 0, err
+		return metrics.PRF{}, 0, ph, err
 	}
 	cellCtx := ctx
 	cancel := func() {}
@@ -209,7 +247,19 @@ func runTaskAttempt(ctx context.Context, cfg Config, pt *Point, algo Algorithm, 
 		cellCtx, cancel = context.WithTimeout(ctx, cfg.CellTimeout)
 	}
 	defer cancel()
-	return runAlgo(cellCtx, pt, algo, g, sim)
+	prf, dur, ph.infer, ph.metrics, err = runAlgo(cellCtx, pt, algo, g, sim)
+	if err != nil {
+		// A deadline that fired on the cell context but not the run context
+		// is a per-cell timeout, the signal -cell-timeout tuning needs.
+		if errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
+			rcd.Counter("experiments/timeouts").Inc()
+		}
+		return metrics.PRF{}, 0, ph, err
+	}
+	rcd.Histogram("experiments/phase/infer").Observe(ph.infer)
+	rcd.Histogram("experiments/phase/metrics").Observe(ph.metrics)
+	rcd.Histogram("experiments/cell").Observe(dur)
+	return prf, dur, ph, nil
 }
 
 // firstStackLines trims a debug.Stack dump to its first n lines — enough to
@@ -249,12 +299,24 @@ func RunContext(ctx context.Context, fig Figure, cfg Config, progress io.Writer)
 	if cfg.Repeats <= 0 {
 		cfg.Repeats = 1
 	}
+	if cfg.Obs != nil {
+		ctx = obs.With(ctx, cfg.Obs)
+	}
+	rcd := obs.From(ctx)
 	nP, nA, nR := len(fig.Points), len(fig.Algorithms), cfg.Repeats
 	nCells := nP * nA
 	rs := &RunStats{Cells: nCells}
 	if nCells == 0 {
 		return nil, rs, ctx.Err()
 	}
+	runSpan := rcd.StartSpan("experiments/run")
+	defer runSpan.End()
+	rcd.Counter("experiments/cells_total").Add(int64(nCells))
+	cellsDoneC := rcd.Counter("experiments/cells_done")
+	restoredC := rcd.Counter("experiments/cells_restored")
+	retriesC := rcd.Counter("experiments/retries")
+	recoveredC := rcd.Counter("experiments/recovered")
+	taskHist := rcd.Histogram("experiments/task")
 
 	// One lazily generated workload per (point, repeat), shared by every
 	// algorithm cell at that coordinate.
@@ -281,6 +343,7 @@ func RunContext(ctx context.Context, fig Figure, cfg Config, progress io.Writer)
 		var fs []float64
 		var pSum, rSum float64
 		var tSum time.Duration
+		var wlSum, infSum, metSum time.Duration
 		cancelled := false
 		for rep := 0; rep < nR; rep++ {
 			r := &results[ci*nR+rep]
@@ -298,17 +361,25 @@ func RunContext(ctx context.Context, fig Figure, cfg Config, progress io.Writer)
 			pSum += r.prf.Precision
 			rSum += r.prf.Recall
 			tSum += r.dur
+			wlSum += r.ph.workload
+			infSum += r.ph.infer
+			metSum += r.ph.metrics
 		}
 		meas.Completed = len(fs)
 		if len(fs) > 0 {
 			ok := float64(len(fs))
+			nOK := time.Duration(len(fs))
 			meas.F = stats.Mean(fs)
 			meas.FStd = stats.StdDev(fs)
 			meas.Precision = pSum / ok
 			meas.Recall = rSum / ok
-			meas.Runtime = tSum / time.Duration(len(fs))
+			meas.Runtime = tSum / nOK
+			meas.PhaseWorkload = wlSum / nOK
+			meas.PhaseInfer = infSum / nOK
+			meas.PhaseMetrics = metSum / nOK
 		}
 		ms[ci] = meas
+		cellsDoneC.Inc()
 		// A cell touched by run-level cancellation is not finished work: it
 		// is never journaled, so a resume re-runs it from scratch.
 		if cancelled {
@@ -326,23 +397,27 @@ func RunContext(ctx context.Context, fig Figure, cfg Config, progress io.Writer)
 	}
 
 	runTask := func(ti int) {
+		taskStart := time.Now()
+		defer func() { taskHist.Observe(time.Since(taskStart)) }()
 		ci := ti / nR
 		rep := ti % nR
 		pi, ai := ci/nA, ci%nA
 		pt := &fig.Points[pi]
 		algo := fig.Algorithms[ai]
 		r := &results[ti]
-		r.prf, r.dur, r.err = runTaskAttempt(ctx, cfg, pt, algo, &wls[pi*nR+rep], cellSeed(cfg.Seed, pi, rep))
+		r.prf, r.dur, r.ph, r.err = runTaskAttempt(ctx, cfg, pt, algo, &wls[pi*nR+rep], cellSeed(cfg.Seed, pi, rep))
 		// Retries: deterministic because the attempt sequence runs inside
 		// the owning task, each with its own derived seed and fresh
 		// workload. Run-level cancellation is never retried.
 		for attempt := 1; r.err != nil && attempt <= cfg.Retries && ctx.Err() == nil; attempt++ {
 			retried.Add(1)
+			retriesC.Inc()
 			var fresh sharedWorkload
-			prf, dur, err := runTaskAttempt(ctx, cfg, pt, algo, &fresh, retrySeed(cfg.Seed, pi, rep, attempt))
-			r.prf, r.dur, r.err = prf, dur, err
+			prf, dur, ph, err := runTaskAttempt(ctx, cfg, pt, algo, &fresh, retrySeed(cfg.Seed, pi, rep, attempt))
+			r.prf, r.dur, r.ph, r.err = prf, dur, ph, err
 			if err == nil {
 				recovered.Add(1)
+				recoveredC.Inc()
 			}
 		}
 		r.ran = true
@@ -363,6 +438,8 @@ func RunContext(ctx context.Context, fig Figure, cfg Config, progress io.Writer)
 			ms[ci] = m
 			remaining[ci] = 0
 			rs.Restored++
+			restoredC.Inc()
+			cellsDoneC.Inc()
 			emit.markRestored(ci)
 			emit.markDone(ci, ms)
 			continue
@@ -379,6 +456,9 @@ func RunContext(ctx context.Context, fig Figure, cfg Config, progress io.Writer)
 	if workers > len(tasks) {
 		workers = len(tasks)
 	}
+	rcd.Gauge("experiments/workers").Set(float64(workers))
+	busyBefore := taskHist.Sum()
+	poolStart := time.Now()
 	if workers <= 1 {
 		for _, ti := range tasks {
 			if ctx.Err() != nil {
@@ -403,6 +483,13 @@ func RunContext(ctx context.Context, fig Figure, cfg Config, progress io.Writer)
 			}()
 		}
 		wg.Wait()
+	}
+	// Pool utilization: busy task time over workers × wall time. Below ~1 the
+	// pool idled (uneven cells or a long tail); it is the signal for tuning
+	// -workers against a given figure.
+	if wall := time.Since(poolStart); wall > 0 && workers > 0 {
+		busy := float64(taskHist.Sum() - busyBefore)
+		rcd.Gauge("experiments/worker_utilization").Set(busy / (float64(wall.Nanoseconds()) * float64(workers)))
 	}
 
 	// On cancellation, mark every task that never ran and aggregate the
@@ -499,18 +586,33 @@ func (e *orderedEmitter) markDone(ci int, ms []Measurement) {
 // run is in flight.
 var algoHooks map[Algorithm]func(ctx context.Context, g *graph.Directed, sim *diffusion.Result) (metrics.PRF, error)
 
-// runAlgo times one algorithm on a pre-generated workload. The context
-// carries the per-cell deadline and run-level cancellation into the
-// algorithm's iteration loops.
-func runAlgo(ctx context.Context, pt *Point, algo Algorithm, g *graph.Directed, sim *diffusion.Result) (metrics.PRF, time.Duration, error) {
+// runAlgo times one algorithm on a pre-generated workload, reporting the
+// total alongside its infer/metrics phase split (total ≈ infer + metrics; a
+// few dispatch instructions separate the stamps). The context carries the
+// per-cell deadline and run-level cancellation into the algorithm's
+// iteration loops.
+func runAlgo(ctx context.Context, pt *Point, algo Algorithm, g *graph.Directed, sim *diffusion.Result) (metrics.PRF, time.Duration, time.Duration, time.Duration, error) {
 	start := time.Now()
-	var prf metrics.PRF
+	score, err := inferAlgo(ctx, pt, algo, g, sim)
+	if err != nil {
+		return metrics.PRF{}, 0, time.Since(start), 0, err
+	}
+	inferDone := time.Now()
+	prf := score()
+	end := time.Now()
+	return prf, end.Sub(start), inferDone.Sub(start), end.Sub(inferDone), nil
+}
+
+// inferAlgo runs the algorithm-specific inference and returns a closure that
+// scores the inferred topology against the ground truth — the seam between
+// the infer and metrics phases of the cell accounting.
+func inferAlgo(ctx context.Context, pt *Point, algo Algorithm, g *graph.Directed, sim *diffusion.Result) (func() metrics.PRF, error) {
 	if hook, ok := algoHooks[algo]; ok {
 		prf, err := hook(ctx, g, sim)
 		if err != nil {
-			return metrics.PRF{}, 0, err
+			return nil, err
 		}
-		return prf, time.Since(start), nil
+		return func() metrics.PRF { return prf }, nil
 	}
 	switch algo {
 	case AlgoTENDS, AlgoTENDSMI:
@@ -523,64 +625,63 @@ func runAlgo(ctx context.Context, pt *Point, algo Algorithm, g *graph.Directed, 
 		}
 		res, err := core.InferContext(ctx, sim.Statuses, opt)
 		if err != nil {
-			return metrics.PRF{}, 0, err
+			return nil, err
 		}
-		prf = metrics.Score(g, res.Graph)
+		return func() metrics.PRF { return metrics.Score(g, res.Graph) }, nil
 	case AlgoNetRate:
 		preds, err := netrate.InferContext(ctx, sim, netrate.Options{})
 		if err != nil {
-			return metrics.PRF{}, 0, err
+			return nil, err
 		}
-		prf, _ = metrics.BestF(g, preds)
+		return func() metrics.PRF { prf, _ := metrics.BestF(g, preds); return prf }, nil
 	case AlgoMulTree:
 		inferred, err := multree.InferContext(ctx, sim, g.NumEdges(), multree.Options{})
 		if err != nil {
-			return metrics.PRF{}, 0, err
+			return nil, err
 		}
-		prf = metrics.Score(g, inferred)
+		return func() metrics.PRF { return metrics.Score(g, inferred) }, nil
 	case AlgoNetInf:
 		inferred, err := netinf.InferContext(ctx, sim, g.NumEdges(), netinf.Options{})
 		if err != nil {
-			return metrics.PRF{}, 0, err
+			return nil, err
 		}
-		prf = metrics.Score(g, inferred)
+		return func() metrics.PRF { return metrics.Score(g, inferred) }, nil
 	case AlgoLIFT:
 		// LIFT is a single pass over the observation matrix with no long
 		// iteration loop; a pre-check keeps cancelled cells from starting it.
 		if err := ctx.Err(); err != nil {
-			return metrics.PRF{}, 0, err
+			return nil, err
 		}
-		inferred, err := lift.InferTopM(sim, g.NumEdges(), lift.Options{})
+		inferred, err := lift.InferTopMContext(ctx, sim, g.NumEdges(), lift.Options{})
 		if err != nil {
-			return metrics.PRF{}, 0, err
+			return nil, err
 		}
-		prf = metrics.Score(g, inferred)
+		return func() metrics.PRF { return metrics.Score(g, inferred) }, nil
 	case AlgoPATH:
 		if err := ctx.Err(); err != nil {
-			return metrics.PRF{}, 0, err
+			return nil, err
 		}
 		traces, err := path.TracesFromCascades(sim, 3)
 		if err != nil {
-			return metrics.PRF{}, 0, err
+			return nil, err
 		}
 		inferred, err := path.InferTopM(g.NumNodes(), traces, g.NumEdges())
 		if err != nil {
-			return metrics.PRF{}, 0, err
+			return nil, err
 		}
-		prf = metrics.Score(g, inferred)
+		return func() metrics.PRF { return metrics.Score(g, inferred) }, nil
 	default:
-		return metrics.PRF{}, 0, fmt.Errorf("unknown algorithm %q", algo)
+		return nil, fmt.Errorf("unknown algorithm %q", algo)
 	}
-	return prf, time.Since(start), nil
 }
 
 // simulate generates the observation data of one sweep point: per-edge
 // propagation probabilities drawn from N(mu, 0.05), then beta
 // independent-cascade processes with alpha-fraction random seeds.
-func simulate(g *graph.Directed, mu, alpha float64, beta int, seed int64) (*diffusion.Result, error) {
+func simulate(ctx context.Context, g *graph.Directed, mu, alpha float64, beta int, seed int64) (*diffusion.Result, error) {
 	rng := rand.New(rand.NewSource(seed + 7919))
 	ep := diffusion.NewEdgeProbs(g, mu, 0.05, rng)
-	return diffusion.Simulate(ep, diffusion.Config{Alpha: alpha, Beta: beta}, rng)
+	return diffusion.SimulateContext(ctx, ep, diffusion.Config{Alpha: alpha, Beta: beta}, rng)
 }
 
 // lfrNetwork adapts an LFR benchmark index into a Workload network source.

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tends/internal/graph"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden fixtures from the current run")
+
+// goldenFigure is a fixed two-point, two-algorithm sweep on a seeded LFR
+// workload — deterministic at any worker count, so the CSV it produces is a
+// stable regression surface for the whole pipeline (LFR generation,
+// simulation, inference, scoring, aggregation, CSV formatting).
+func goldenFigure() Figure {
+	chain := func(seed int64) (*graph.Directed, error) {
+		g := graph.Chain(20)
+		g.Symmetrize()
+		return g, nil
+	}
+	return Figure{
+		ID:         "FigGolden",
+		Title:      "golden regression",
+		Algorithms: []Algorithm{AlgoTENDS, AlgoLIFT},
+		Points: []Point{
+			{Label: "lfr", Workload: Workload{Network: lfrNetwork(1), Mu: 0.3, Alpha: 0.15, Beta: 80}},
+			{Label: "chain", Workload: Workload{Network: chain, Mu: 0.4, Alpha: 0.1, Beta: 100}},
+		},
+	}
+}
+
+// normalizeRuntime zeroes the one nondeterministic Measurement field so the
+// golden bytes compare exactly.
+func normalizeRuntime(ms []Measurement) {
+	for i := range ms {
+		ms[i].Runtime = 0
+		ms[i].PhaseWorkload = 0
+		ms[i].PhaseInfer = 0
+		ms[i].PhaseMetrics = 0
+	}
+}
+
+// TestGoldenCSV runs the fixed figure at two worker counts and asserts the
+// CSV output (runtime column excepted, normalized to 0.00) is byte-identical
+// to the committed fixture. Refresh with `go test -run GoldenCSV -update`
+// after an intentional scoring or formatting change.
+func TestGoldenCSV(t *testing.T) {
+	goldenPath := filepath.Join("testdata", "golden_fig.csv")
+	fig := goldenFigure()
+	var runs [][]byte
+	for _, workers := range []int{1, 4} {
+		ms, err := Run(fig, Config{Seed: 7, Repeats: 2, Workers: workers}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		normalizeRuntime(ms)
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, ms); err != nil {
+			t.Fatal(err)
+		}
+		runs = append(runs, buf.Bytes())
+	}
+	if !bytes.Equal(runs[0], runs[1]) {
+		t.Fatalf("CSV differs between worker counts:\nworkers=1:\n%s\nworkers=4:\n%s", runs[0], runs[1])
+	}
+	if *updateGolden {
+		if err := os.WriteFile(goldenPath, runs[0], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", goldenPath)
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create the fixture)", err)
+	}
+	if !bytes.Equal(runs[0], want) {
+		t.Fatalf("CSV drifted from golden fixture %s:\ngot:\n%s\nwant:\n%s\n(re-run with -update if the change is intentional)",
+			goldenPath, runs[0], want)
+	}
+}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"tends/internal/obs"
+)
+
+// TestRunRecordsObservability attaches a recorder to a small run and checks
+// the harness-level stream: cell accounting counters, the phase histograms,
+// and the per-cell phase breakdown on each measurement.
+func TestRunRecordsObservability(t *testing.T) {
+	fig := tinyFigure([]Algorithm{AlgoTENDS, AlgoLIFT})
+	rec := obs.New()
+	ms, _, err := RunContext(t.Context(), fig, Config{Seed: 11, Obs: rec}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rec.Snapshot()
+	if got := s.Counters["experiments/cells_total"]; got != 4 {
+		t.Fatalf("cells_total = %d, want 4", got)
+	}
+	if got := s.Counters["experiments/cells_done"]; got != 4 {
+		t.Fatalf("cells_done = %d, want 4", got)
+	}
+	for _, h := range []string{"experiments/phase/workload", "experiments/phase/infer", "experiments/phase/metrics", "experiments/cell", "experiments/task"} {
+		ts, ok := s.Timings[h]
+		if !ok || ts.Count == 0 {
+			t.Fatalf("histogram %q not recorded", h)
+		}
+	}
+	if ts, ok := s.Timings["experiments/run"]; !ok || ts.Count != 1 {
+		t.Fatalf("experiments/run span missing or wrong count: %+v", s.Timings["experiments/run"])
+	}
+	if _, ok := s.Gauges["experiments/workers"]; !ok {
+		t.Fatal("experiments/workers gauge not set")
+	}
+	if util, ok := s.Gauges["experiments/worker_utilization"]; !ok || util <= 0 {
+		t.Fatalf("worker utilization not recorded: %v", util)
+	}
+	// The libraries' own telemetry must have arrived through the context.
+	if s.Counters["core/imi/rows"] == 0 {
+		t.Fatal("core telemetry did not flow through the harness context")
+	}
+	if s.Counters["diffusion/processes"] == 0 {
+		t.Fatal("diffusion telemetry did not flow through the harness context")
+	}
+	// Per-cell phases: Runtime is exactly infer+metrics per repeat, so the
+	// per-cell means can differ only by division rounding.
+	for _, m := range ms {
+		if m.PhaseInfer <= 0 {
+			t.Fatalf("%s/%s: no infer phase recorded", m.Point, m.Algorithm)
+		}
+		diff := m.Runtime - (m.PhaseInfer + m.PhaseMetrics)
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > time.Microsecond {
+			t.Fatalf("%s/%s: phases (%v + %v) do not sum to runtime %v",
+				m.Point, m.Algorithm, m.PhaseInfer, m.PhaseMetrics, m.Runtime)
+		}
+	}
+}
+
+// TestRunObsSideChannelOnly guards the promise that attaching a recorder
+// never changes measurements, at serial and concurrent worker counts.
+func TestRunObsSideChannelOnly(t *testing.T) {
+	fig := tinyFigure([]Algorithm{AlgoTENDS, AlgoLIFT})
+	for _, workers := range []int{1, 4} {
+		plain, err := Run(fig, Config{Seed: 12, Repeats: 2, Workers: workers}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		instrumented, _, err := RunContext(t.Context(), fig, Config{Seed: 12, Repeats: 2, Workers: workers, Obs: obs.New()}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameMeasurements(t, plain, instrumented)
+	}
+}

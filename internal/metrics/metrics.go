@@ -103,10 +103,15 @@ func BestF(truth *graph.Directed, predictions []WeightedEdge) (best PRF, thresho
 		if cur.F > bestF {
 			bestF = cur.F
 			best = cur
-			if i < len(sorted) {
+			switch {
+			case i < len(sorted):
 				threshold = (w + sorted[i].Weight) / 2
-			} else {
+			case w > 0:
 				threshold = w / 2
+			default:
+				// Keep-everything with a weakest weight ≤ 0: w/2 would not
+				// be strictly below w, silently dropping the last tie group.
+				threshold = w - 1
 			}
 		}
 	}

@@ -1,0 +1,111 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+
+	"tends/internal/graph"
+)
+
+// randomGraph builds an n-node graph where each ordered pair is an edge with
+// probability p.
+func randomGraph(rng *rand.Rand, n int, p float64) *graph.Directed {
+	g := graph.New(n)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u != v && rng.Float64() < p {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// TestScoreProperties checks the algebraic invariants of Score on random
+// graph pairs: all three measures stay in [0,1], swapping truth and inferred
+// swaps precision and recall (the true-positive set is symmetric), and F is
+// zero exactly when the edge sets do not overlap.
+func TestScoreProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(10)
+		a := randomGraph(rng, n, rng.Float64()*0.5)
+		b := randomGraph(rng, n, rng.Float64()*0.5)
+		ab, ba := Score(a, b), Score(b, a)
+		for _, v := range []float64{ab.Precision, ab.Recall, ab.F} {
+			if v < 0 || v > 1 {
+				t.Fatalf("trial %d: measure %v outside [0,1] (%+v)", trial, v, ab)
+			}
+		}
+		if ab.Precision != ba.Recall || ab.Recall != ba.Precision {
+			t.Fatalf("trial %d: swap symmetry violated: %+v vs %+v", trial, ab, ba)
+		}
+		if (ab.F == 0) != (ab.TP == 0) {
+			t.Fatalf("trial %d: F = %v with TP = %d", trial, ab.F, ab.TP)
+		}
+	}
+}
+
+// TestScoreEdgesMatchesScore pins ScoreEdges to Score on the same edge set
+// (with duplicates, which ScoreEdges must ignore).
+func TestScoreEdgesMatchesScore(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(8)
+		truth := randomGraph(rng, n, 0.3)
+		inferred := randomGraph(rng, n, 0.3)
+		edges := inferred.Edges()
+		edges = append(edges, edges...) // duplicates must not change the score
+		if got, want := ScoreEdges(truth, edges), Score(truth, inferred); got != want {
+			t.Fatalf("trial %d: ScoreEdges %+v != Score %+v", trial, got, want)
+		}
+	}
+}
+
+// TestBestFDominatesFixedThresholds checks BestF's defining property: no
+// fixed strictly-above threshold beats it, and applying the threshold it
+// returns reproduces its score.
+func TestBestFDominatesFixedThresholds(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	atThreshold := func(truth *graph.Directed, preds []WeightedEdge, thr float64) PRF {
+		var kept []graph.Edge
+		for _, we := range preds {
+			if we.Weight > thr {
+				kept = append(kept, we.Edge)
+			}
+		}
+		return ScoreEdges(truth, kept)
+	}
+	for trial := 0; trial < 100; trial++ {
+		n := 3 + rng.Intn(8)
+		truth := randomGraph(rng, n, 0.3)
+		var preds []WeightedEdge
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if u != v && rng.Float64() < 0.4 {
+					// Coarse weights force ties, the interesting case for
+					// the strictly-above sweep.
+					w := float64(rng.Intn(5)) / 4
+					preds = append(preds, WeightedEdge{Edge: graph.Edge{From: u, To: v}, Weight: w})
+				}
+			}
+		}
+		best, thr := BestF(truth, preds)
+		if got := atThreshold(truth, preds, thr); got.F != best.F {
+			t.Fatalf("trial %d: threshold %v yields F=%v, BestF reported %v", trial, thr, got.F, best.F)
+		}
+		for i := 0; i < 20; i++ {
+			fixed := rng.Float64()*1.5 - 0.25
+			if got := atThreshold(truth, preds, fixed); got.F > best.F+1e-12 {
+				t.Fatalf("trial %d: fixed threshold %v beats BestF: %v > %v", trial, fixed, got.F, best.F)
+			}
+		}
+		// The empty and keep-everything extremes are fixed thresholds too.
+		if got := atThreshold(truth, preds, 2); got.F > best.F {
+			t.Fatalf("trial %d: empty set beats BestF", trial)
+		}
+		if got := atThreshold(truth, preds, -1); got.F > best.F+1e-12 {
+			t.Fatalf("trial %d: keep-everything beats BestF: %v > %v", trial, got.F, best.F)
+		}
+	}
+}

@@ -1,0 +1,24 @@
+package obs
+
+import "context"
+
+// ctxKey is the private context key carrying a *Recorder.
+type ctxKey struct{}
+
+// With returns a context carrying r. Instrumented code downstream retrieves
+// it via From; passing a nil r is allowed and equivalent to not attaching
+// one.
+func With(ctx context.Context, r *Recorder) context.Context {
+	if r == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, r)
+}
+
+// From returns the Recorder carried by ctx, or nil when none is attached.
+// The nil result is directly usable: every Recorder method (and the handles
+// it hands out) is an allocation-free no-op on nil, so callers never branch.
+func From(ctx context.Context) *Recorder {
+	r, _ := ctx.Value(ctxKey{}).(*Recorder)
+	return r
+}

@@ -117,3 +117,38 @@ func TestKMeans1DPanicsOnBadK(t *testing.T) {
 	}()
 	KMeans1D([]float64{1}, 0, 10)
 }
+
+// TestTwoMeansThresholdTable pins the pinned-centroid variant on the
+// degenerate shapes the auto-threshold meets in practice: data with no
+// near-zero group, exact ties at the assignment boundary, and duplicated
+// values around it.
+func TestTwoMeansThresholdTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		values  []float64
+		maxIter int
+		want    float64
+	}{
+		{"all zero", []float64{0, 0, 0, 0}, 50, 0},
+		// A single tight cluster far from zero: every value stays with the
+		// free centroid, the pinned cluster is empty, nothing is pruned.
+		{"single far cluster", []float64{0.8, 0.81, 0.82, 0.79}, 50, 0},
+		{"single far cluster one iter", []float64{0.8, 0.81, 0.82, 0.79}, 1, 0},
+		// Values tied exactly at the boundary c/2 go to the free centroid
+		// (centroid max=1 → boundary 0.5): τ is the largest value below it.
+		{"tie at boundary", []float64{0, 0.1, 0.5, 1}, 50, 0.1},
+		// Duplicated boundary values must all move together.
+		{"duplicated boundary", []float64{0, 0, 0.5, 0.5, 1, 1}, 50, 0},
+		// Two-point data splits into one value per cluster.
+		{"two points", []float64{0.01, 0.9}, 50, 0.01},
+		// Zero iterations keep the initial max-value centroid's split.
+		{"no iterations", []float64{0.01, 0.02, 0.9}, 0, 0.02},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := TwoMeansThreshold(tc.values, tc.maxIter); got != tc.want {
+				t.Fatalf("TwoMeansThreshold(%v, %d) = %v, want %v", tc.values, tc.maxIter, got, tc.want)
+			}
+		})
+	}
+}
