@@ -1,0 +1,178 @@
+// Command bench measures the repository's four hot paths — cascade
+// simulation, pairwise IMI, full TENDS inference, and NetRate — with the
+// standard library benchmark driver and writes the results as JSON.
+//
+// Usage:
+//
+//	bench                      # write BENCH_PR4.json in the working directory
+//	bench -out results.json    # write elsewhere
+//	bench -benchtime 2s        # run each path for ~2s (default 1s)
+//	bench -quick               # single iteration per path (CI smoke)
+//
+// Each entry records iterations, ns/op, B/op and allocs/op, so successive
+// runs of the same binary on the same machine can be diffed to spot
+// performance regressions. The workloads match the package micro-benchmarks
+// (n=200 networks, β=150 observations) and are fully seeded: everything but
+// the timings is deterministic.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"tends/internal/baselines/netrate"
+	"tends/internal/core"
+	"tends/internal/diffusion"
+	"tends/internal/graph"
+)
+
+// pathResult is one benchmarked hot path in the output JSON.
+type pathResult struct {
+	Name       string  `json:"name"`
+	Iterations int     `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	BytesPerOp int64   `json:"bytes_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+}
+
+// report is the top-level BENCH_PR4.json document.
+type report struct {
+	GoVersion string       `json:"go_version"`
+	GOOS      string       `json:"goos"`
+	GOARCH    string       `json:"goarch"`
+	NumCPU    int          `json:"num_cpu"`
+	Results   []pathResult `json:"results"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_PR4.json", "output JSON path")
+	benchtime := flag.Duration("benchtime", time.Second, "target running time per path")
+	quick := flag.Bool("quick", false, "run each path exactly once (smoke mode)")
+	flag.Parse()
+	if err := run(*out, *benchtime, *quick); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string, benchtime time.Duration, quick bool) error {
+	// testing.Benchmark scales b.N from the -test.benchtime flag, which only
+	// exists after testing.Init registers the test flags; set it explicitly.
+	testing.Init()
+	bt := benchtime.String()
+	if quick {
+		bt = "1x"
+	}
+	if err := flag.CommandLine.Set("test.benchtime", bt); err != nil {
+		return err
+	}
+
+	rep := report{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+	for _, p := range hotPaths() {
+		fmt.Fprintf(os.Stderr, "benchmarking %s...\n", p.name)
+		r := testing.Benchmark(p.fn)
+		rep.Results = append(rep.Results, pathResult{
+			Name:        p.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d paths)\n", out, len(rep.Results))
+	return nil
+}
+
+type hotPath struct {
+	name string
+	fn   func(b *testing.B)
+}
+
+// hotPaths defines the benchmarked pipeline stages. Workloads are rebuilt
+// from fixed seeds inside each function (outside the timed region), so the
+// measured operations are identical run to run.
+func hotPaths() []hotPath {
+	return []hotPath{
+		{"simulate/dense", func(b *testing.B) {
+			g := graph.GNM(200, 8000, rand.New(rand.NewSource(1)))
+			rng := rand.New(rand.NewSource(2))
+			ep := diffusion.NewEdgeProbs(g, 0.1, 0.05, rng)
+			cfg := diffusion.Config{Alpha: 0.15, Beta: 150}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := diffusion.Simulate(ep, cfg, rng); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"imi/pairwise", func(b *testing.B) {
+			sm := chainObservations(b, 200, 150)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				core.ComputeIMIWorkers(sm, false, 1)
+			}
+		}},
+		{"tends/infer", func(b *testing.B) {
+			sm := chainObservations(b, 200, 150)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Infer(sm, core.Options{Workers: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"netrate/infer", func(b *testing.B) {
+			g := graph.GNM(200, 800, rand.New(rand.NewSource(5)))
+			rng := rand.New(rand.NewSource(6))
+			ep := diffusion.NewEdgeProbs(g, 0.3, 0.05, rng)
+			res, err := diffusion.Simulate(ep, diffusion.Config{Alpha: 0.1, Beta: 150}, rng)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := netrate.Infer(res, netrate.Options{Workers: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	}
+}
+
+// chainObservations simulates β cascades on a symmetrized 200-node chain,
+// the workload of the package-level inference benchmarks.
+func chainObservations(b *testing.B, n, beta int) *diffusion.StatusMatrix {
+	b.Helper()
+	g := graph.Chain(n)
+	g.Symmetrize()
+	rng := rand.New(rand.NewSource(9))
+	ep := diffusion.NewEdgeProbs(g, 0.3, 0.05, rng)
+	res, err := diffusion.Simulate(ep, diffusion.Config{Alpha: 0.15, Beta: beta}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res.Statuses
+}

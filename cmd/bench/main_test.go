@@ -1,0 +1,52 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestRunQuickWritesWellFormedJSON runs the whole command in smoke mode (one
+// iteration per hot path) and validates the output document: all four paths
+// present, every counter positive.
+func TestRunQuickWritesWellFormedJSON(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	if err := run(out, time.Second, true); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	want := map[string]bool{
+		"simulate/dense": false,
+		"imi/pairwise":   false,
+		"tends/infer":    false,
+		"netrate/infer":  false,
+	}
+	if len(rep.Results) != len(want) {
+		t.Fatalf("got %d results, want %d", len(rep.Results), len(want))
+	}
+	for _, r := range rep.Results {
+		seen, ok := want[r.Name]
+		if !ok {
+			t.Fatalf("unexpected path %q", r.Name)
+		}
+		if seen {
+			t.Fatalf("duplicate path %q", r.Name)
+		}
+		want[r.Name] = true
+		if r.Iterations < 1 || r.NsPerOp <= 0 {
+			t.Fatalf("%s: implausible measurement %+v", r.Name, r)
+		}
+	}
+	if rep.GoVersion == "" || rep.GOARCH == "" {
+		t.Fatalf("missing environment fields: %+v", rep)
+	}
+}

@@ -1,0 +1,39 @@
+package netrate
+
+import (
+	"math/rand"
+	"testing"
+
+	"tends/internal/diffusion"
+	"tends/internal/graph"
+)
+
+// benchResult simulates the paper-scale NetRate workload: a dense random
+// network with enough cascades that every destination node has a non-trivial
+// convex subproblem.
+func benchResult(b *testing.B, n, m, beta int) *diffusion.Result {
+	b.Helper()
+	rng := rand.New(rand.NewSource(11))
+	g := graph.GNM(n, m, rng)
+	ep := diffusion.NewEdgeProbs(g, 0.3, 0.05, rng)
+	res, err := diffusion.Simulate(ep, diffusion.Config{Alpha: 0.15, Beta: beta}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+func benchInfer(b *testing.B, workers int) {
+	res := benchResult(b, 200, 800, 150)
+	opt := Options{Workers: workers}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Infer(res, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInferSerial(b *testing.B)   { benchInfer(b, 1) }
+func BenchmarkInferParallel(b *testing.B) { benchInfer(b, 0) }

@@ -26,7 +26,10 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"tends/internal/diffusion"
 	"tends/internal/graph"
@@ -44,6 +47,12 @@ type Options struct {
 	// MinRate floors the reported rates: anything below is treated as no
 	// edge and dropped from the output; 0 means 1e-6.
 	MinRate float64
+	// Workers bounds the goroutines solving the n independent per-node
+	// problems, mirroring core.Options.Workers: 0 means GOMAXPROCS, 1
+	// forces serial execution. Every destination node's subproblem is
+	// solved from the same read-only inputs into its own output slot, so
+	// the inferred edges are identical at any worker count.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -97,53 +106,119 @@ func InferContext(ctx context.Context, res *diffusion.Result, opt Options) ([]me
 		}
 	}
 
-	var out []metrics.WeightedEdge
-	for i := 0; i < n; i++ {
-		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("netrate: %w", err)
-		}
-		rates := solveNode(ctx, i, res, times, horizon, opt, itersC)
-		nodesC.Inc()
-		for j, a := range rates {
-			if a > opt.MinRate {
-				out = append(out, metrics.WeightedEdge{
-					Edge:   graph.Edge{From: j, To: i},
-					Weight: a,
-				})
+	// The n per-node concave problems are independent; workers claim nodes
+	// off a shared counter and write disjoint perNode slots, so the output
+	// is identical at any worker count.
+	perNode := make([][]metrics.WeightedEdge, n)
+	solveRange := func(next *atomic.Int64) {
+		sc := newNodeScratch(n)
+		for ctx.Err() == nil {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
 			}
+			rates, srcs := solveNode(ctx, i, res, times, horizon, opt, itersC, sc)
+			nodesC.Inc()
+			var edges []metrics.WeightedEdge
+			for k, a := range rates {
+				if a > opt.MinRate {
+					edges = append(edges, metrics.WeightedEdge{
+						Edge:   graph.Edge{From: srcs[k], To: i},
+						Weight: a,
+					})
+				}
+			}
+			perNode[i] = edges
 		}
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
+	if workers <= 1 {
+		solveRange(&next)
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				solveRange(&next)
+			}()
+		}
+		wg.Wait()
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("netrate: %w", err)
+	}
+	var out []metrics.WeightedEdge
+	for i := 0; i < n; i++ {
+		out = append(out, perNode[i]...)
 	}
 	sort.SliceStable(out, func(a, b int) bool { return out[a].Weight > out[b].Weight })
 	return out, nil
 }
 
-// solveNode maximizes L_i over the rates of node i's potential sources. A
-// cancelled context stops the EM iterations early; the caller discards the
-// partial rates.
-func solveNode(ctx context.Context, i int, res *diffusion.Result, times [][]float64, horizon []float64, opt Options, itersC *obs.Counter) map[int]float64 {
-	// d[j]: total exposure duration of j toward i across cascades.
-	// parents[c]: sources that could have infected i in cascade c.
-	d := make(map[int]float64)
-	var parentSets [][]int
+// nodeScratch is one worker's reusable state for solveNode: dense n-sized
+// accumulators plus the compact per-problem slices, so the EM fixed point
+// runs entirely on index slices with no map operations and no per-iteration
+// allocations.
+type nodeScratch struct {
+	dAll []float64 // exposure duration per source node id; reset after compaction
+	seen []bool    // source touched for the current destination
+	pos  []int32   // node id -> compact index; valid only for seen nodes
+
+	srcs  []int     // compact source node ids, ascending
+	d     []float64 // compact exposure durations, aligned with srcs
+	rates []float64 // compact rates; 0 marks an ineligible source
+	acc   []float64 // compact EM responsibilities
+
+	psBuf []int32 // flattened parent sets (compact indices after remapping)
+	psOff []int32 // parent-set spans into psBuf, len sets+1
+}
+
+func newNodeScratch(n int) *nodeScratch {
+	return &nodeScratch{
+		dAll: make([]float64, n),
+		seen: make([]bool, n),
+		pos:  make([]int32, n),
+	}
+}
+
+// solveNode maximizes L_i over the rates of node i's potential sources,
+// returning compact rate and source-id slices (aliasing sc, valid until the
+// next call). A cancelled context stops the EM iterations early; the caller
+// discards the partial rates.
+func solveNode(ctx context.Context, i int, res *diffusion.Result, times [][]float64, horizon []float64, opt Options, itersC *obs.Counter, sc *nodeScratch) ([]float64, []int) {
+	// Accumulate each source's total exposure duration toward i across
+	// cascades into the dense array, and record the potential parent sets
+	// (by node id for now) of the cascades that infected i.
+	sc.psBuf, sc.psOff = sc.psBuf[:0], append(sc.psOff[:0], 0)
+	touched := 0
 	for ci := range res.Cascades {
 		ti := times[ci][i]
 		if ti == 0 && isSeed(res.Cascades[ci].Seeds, i) {
 			continue // seed infections need no explanation
 		}
 		if ti >= 0 {
-			var ps []int
+			before := len(sc.psBuf)
 			for j, tj := range times[ci] {
 				if j == i || tj < 0 || tj >= ti {
 					continue
 				}
-				d[j] += ti - tj
-				ps = append(ps, j)
+				if !sc.seen[j] {
+					sc.seen[j] = true
+					touched++
+				}
+				sc.dAll[j] += ti - tj
+				sc.psBuf = append(sc.psBuf, int32(j))
 			}
-			if len(ps) > 0 {
-				parentSets = append(parentSets, ps)
+			if len(sc.psBuf) > before {
+				sc.psOff = append(sc.psOff, int32(len(sc.psBuf)))
 			}
 		} else {
 			// i survived: every infected j exerted hazard until the
@@ -152,60 +227,99 @@ func solveNode(ctx context.Context, i int, res *diffusion.Result, times [][]floa
 				if j == i || tj < 0 {
 					continue
 				}
-				d[j] += horizon[ci] - tj
+				if !sc.seen[j] {
+					sc.seen[j] = true
+					touched++
+				}
+				sc.dAll[j] += horizon[ci] - tj
 			}
 		}
 	}
-	if len(d) == 0 {
-		return nil
+	if touched == 0 {
+		return nil, nil
 	}
-	rates := make(map[int]float64, len(d))
-	for j, dj := range d {
-		if dj <= 0 {
-			// j was only ever infected exactly at the horizon; it carries
-			// no signal and an unbounded rate would be degenerate.
+	// Compact the touched sources to index slices in ascending node order
+	// (deterministic, unlike the map iteration this replaces), resetting
+	// the dense accumulators for the next destination as we go.
+	sc.srcs, sc.d = sc.srcs[:0], sc.d[:0]
+	eligible := 0
+	for j := 0; j < len(sc.dAll) && len(sc.srcs) < touched; j++ {
+		if !sc.seen[j] {
 			continue
 		}
-		rates[j] = 0.5
+		sc.pos[j] = int32(len(sc.srcs))
+		sc.srcs = append(sc.srcs, j)
+		sc.d = append(sc.d, sc.dAll[j])
+		if sc.dAll[j] > 0 {
+			eligible++
+		}
+		sc.seen[j] = false
+		sc.dAll[j] = 0
 	}
-	if len(rates) == 0 {
-		return nil
+	if eligible == 0 {
+		// Every touched source was only ever infected exactly at the
+		// horizon; it carries no signal and an unbounded rate would be
+		// degenerate.
+		return nil, nil
 	}
+	// Remap the parent sets from node ids to compact indices.
+	for k, j := range sc.psBuf {
+		sc.psBuf[k] = sc.pos[j]
+	}
+	sc.rates = sc.rates[:0]
+	for _, dj := range sc.d {
+		if dj > 0 {
+			sc.rates = append(sc.rates, 0.5)
+		} else {
+			sc.rates = append(sc.rates, 0) // ineligible: never updated
+		}
+	}
+	rates, d := sc.rates, sc.d
+	if cap(sc.acc) < len(rates) {
+		sc.acc = make([]float64, len(rates))
+	}
+	acc := sc.acc[:len(rates)]
 	for iter := 0; iter < opt.Iterations && ctx.Err() == nil; iter++ {
 		itersC.Inc()
-		// Responsibilities: acc[j] = Σ_c α_j / S_c over cascades where j
+		// Responsibilities: acc[k] = Σ_c α_k / S_c over cascades where k
 		// is a potential parent of i.
-		acc := make(map[int]float64, len(rates))
-		for _, ps := range parentSets {
+		for k := range acc {
+			acc[k] = 0
+		}
+		for si := 0; si+1 < len(sc.psOff); si++ {
+			ps := sc.psBuf[sc.psOff[si]:sc.psOff[si+1]]
 			var s float64
-			for _, j := range ps {
-				s += rates[j]
+			for _, k := range ps {
+				s += rates[k]
 			}
 			if s <= 0 {
 				continue
 			}
-			for _, j := range ps {
-				if a := rates[j]; a > 0 {
-					acc[j] += a / s
+			for _, k := range ps {
+				if a := rates[k]; a > 0 {
+					acc[k] += a / s
 				}
 			}
 		}
 		maxRel := 0.0
-		for j := range rates {
-			next := acc[j] / d[j]
-			if cur := rates[j]; cur > 0 {
+		for k := range rates {
+			if d[k] <= 0 {
+				continue
+			}
+			next := acc[k] / d[k]
+			if cur := rates[k]; cur > 0 {
 				rel := abs(next-cur) / cur
 				if rel > maxRel {
 					maxRel = rel
 				}
 			}
-			rates[j] = next
+			rates[k] = next
 		}
 		if maxRel < opt.Tolerance {
 			break
 		}
 	}
-	return rates
+	return rates, sc.srcs
 }
 
 // LogLikelihood evaluates the NetRate objective Σ_i L_i(α) for a given set

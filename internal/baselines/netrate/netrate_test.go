@@ -172,3 +172,41 @@ func TestLogLikelihoodPrefersTruth(t *testing.T) {
 		t.Fatal("fitted rates scored no better than a uniform guess")
 	}
 }
+
+// TestInferWorkersDeterministic asserts the worker pool is a pure
+// parallelization: every destination node is solved independently into its
+// own output slot, so the weighted-edge list — values included, compared
+// bit for bit — is identical at any worker count.
+func TestInferWorkersDeterministic(t *testing.T) {
+	g := graph.GNM(60, 300, rand.New(rand.NewSource(7)))
+	res := simulate(t, g, 0.4, 0.1, 150, 8)
+	serial, err := Infer(res, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Infer(res, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(parallel) {
+		t.Fatalf("edge count differs: %d serial vs %d parallel", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if serial[i].Edge != parallel[i].Edge || serial[i].Weight != parallel[i].Weight {
+			t.Fatalf("edge %d differs: %+v serial vs %+v parallel", i, serial[i], parallel[i])
+		}
+	}
+	// Default Workers (0 = GOMAXPROCS) must match too.
+	def, err := Infer(res, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(def) != len(serial) {
+		t.Fatalf("edge count differs: %d serial vs %d default", len(serial), len(def))
+	}
+	for i := range serial {
+		if serial[i] != def[i] {
+			t.Fatalf("edge %d differs: %+v serial vs %+v default", i, serial[i], def[i])
+		}
+	}
+}

@@ -100,6 +100,27 @@ func BenchmarkLocalScoreLarge(b *testing.B) {
 	}
 }
 
+// BenchmarkAdaptiveMerge isolates the greedy merge over a pre-enumerated
+// combination pool — the stage the mask-based membership test targets.
+func BenchmarkAdaptiveMerge(b *testing.B) {
+	s := NewScorer(randomStatus(150, 200, 42))
+	cands := make([]int, 16)
+	for i := range cands {
+		cands[i] = 2 + 3*i
+	}
+	opt := Options{MaxComboSize: 2}.withDefaults()
+	combos := enumerateCombos(context.Background(), s, 0, cands, opt)
+	if len(combos) == 0 {
+		b.Fatal("no combinations enumerated")
+	}
+	tel := coreTel{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		adaptiveMerge(context.Background(), s, 0, combos, opt, tel.merges)
+	}
+}
+
 func BenchmarkInferChain200(b *testing.B) {
 	g := graph.Chain(200)
 	g.Symmetrize()

@@ -94,7 +94,7 @@ func ComputeIMIContext(ctx context.Context, sm *diffusion.StatusMatrix, traditio
 	for i := 0; i < n; i++ {
 		ones[i] = sm.CountInfected(i)
 	}
-	mt := newMITable(beta)
+	mt := cachedMITable(beta)
 	fillRow := func(i int) {
 		ca := sm.Column(i)
 		base := i * (2*n - i - 1) / 2
@@ -159,10 +159,14 @@ func ComputeIMIContext(ctx context.Context, sm *diffusion.StatusMatrix, traditio
 	return m, nil
 }
 
+// twoMeansMaxIter bounds the modified K-means iterations of the threshold
+// selectors (convergence is immediate in practice; see stats.TwoMeansThreshold).
+const twoMeansMaxIter = 100
+
 // SelectThreshold runs the modified K-means of Section IV-B over the
 // non-negative pairwise values and returns the pruning threshold τ.
 func SelectThreshold(m *IMIMatrix) float64 {
-	return stats.TwoMeansThreshold(m.PairValues(), 100)
+	return stats.TwoMeansThreshold(m.PairValues(), twoMeansMaxIter)
 }
 
 // SelectNodeThreshold runs the same modified K-means over only the values
@@ -200,11 +204,18 @@ func SelectNodeThreshold(m *IMIMatrix, i int) float64 {
 // library default; the paper's K-means selection remains available via
 // Options.ThresholdMethod.
 func SelectThresholdFDR(m *IMIMatrix, beta int, alpha float64) float64 {
+	vals := m.PairValues()
+	sort.Float64s(vals)
+	return selectThresholdFDRSorted(vals, beta, alpha)
+}
+
+// selectThresholdFDRSorted is SelectThresholdFDR over an already-sorted
+// value slice, letting ThresholdAuto share one PairValues copy between the
+// K-means and FDR selectors instead of materializing the O(n²) values twice.
+func selectThresholdFDRSorted(vals []float64, beta int, alpha float64) float64 {
 	if alpha <= 0 || alpha >= 1 {
 		panic("core: FDR alpha must be in (0,1)")
 	}
-	vals := m.PairValues()
-	sort.Float64s(vals)
 	// Walk from the largest value (smallest p) downward; BH accepts the
 	// largest k with p_(k) ≤ alpha·k/M.
 	mTests := float64(len(vals))
@@ -240,6 +251,7 @@ func SelectThresholdFDR(m *IMIMatrix, beta int, alpha float64) float64 {
 // pairwise stage once column scans are hoisted. Within ~1 ulp of
 // stats.Contingency2x2.MICell (the identity changes rounding order only).
 type miTable struct {
+	total    int
 	logs     []float64 // logs[k] = log₂(k); index 0 unused
 	invTotal float64
 	logTotal float64
@@ -247,6 +259,7 @@ type miTable struct {
 
 func newMITable(total int) *miTable {
 	mt := &miTable{
+		total:    total,
 		logs:     make([]float64, total+1),
 		invTotal: 1 / float64(total),
 		logTotal: math.Log2(float64(total)),
@@ -254,6 +267,24 @@ func newMITable(total int) *miTable {
 	for k := 1; k <= total; k++ {
 		mt.logs[k] = math.Log2(float64(k))
 	}
+	return mt
+}
+
+// miTableCache keeps the most recently built log table. The experiment
+// harness computes IMI for many cells with the same observation count β
+// (every repeat and algorithm of a sweep point, and usually the whole
+// figure), so the β+1-entry table is built once and shared instead of being
+// rebuilt per cell. Tables are immutable after construction and identical
+// for equal totals, so a racing rebuild is benign and the IMI output is
+// unaffected.
+var miTableCache atomic.Pointer[miTable]
+
+func cachedMITable(total int) *miTable {
+	if mt := miTableCache.Load(); mt != nil && mt.total == total {
+		return mt
+	}
+	mt := newMITable(total)
+	miTableCache.Store(mt)
 	return mt
 }
 
@@ -275,14 +306,21 @@ func chiSquared1Tail(t float64) float64 {
 }
 
 // Candidates returns, for node i, every node j with value(i,j) > tau — the
-// candidate parent set P_i of Algorithm 1.
+// candidate parent set P_i of Algorithm 1. The result is counted first and
+// allocated exactly once, instead of growing through append's doubling.
 func (m *IMIMatrix) Candidates(i int, tau float64) []int {
-	var out []int
+	count := 0
 	for j := 0; j < m.n; j++ {
-		if j == i {
-			continue
+		if j != i && m.vals[triIndex(m.n, i, j)] > tau {
+			count++
 		}
-		if m.At(i, j) > tau {
+	}
+	if count == 0 {
+		return nil
+	}
+	out := make([]int, 0, count)
+	for j := 0; j < m.n; j++ {
+		if j != i && m.vals[triIndex(m.n, i, j)] > tau {
 			out = append(out, j)
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"context"
 	"fmt"
+	"math/bits"
 	"runtime"
 	"sort"
 	"sync"
@@ -11,6 +12,7 @@ import (
 	"tends/internal/diffusion"
 	"tends/internal/graph"
 	"tends/internal/obs"
+	"tends/internal/stats"
 )
 
 // Options tunes the TENDS algorithm. The zero value reproduces the paper's
@@ -182,7 +184,14 @@ func InferContext(ctx context.Context, sm *diffusion.StatusMatrix, opt Options) 
 	var autoTau float64
 	switch opt.ThresholdMethod {
 	case ThresholdAuto:
-		autoTau = max(SelectThreshold(imi), SelectThresholdFDR(imi, sm.Beta(), opt.FDRAlpha))
+		// Both selectors consume the same O(n²) pairwise values; copy them
+		// out of the matrix once and share the slice (TwoMeansThreshold
+		// sorts an internal copy, so the FDR selector can sort the shared
+		// slice in place afterwards).
+		vals := imi.PairValues()
+		kTau := stats.TwoMeansThreshold(vals, twoMeansMaxIter)
+		sort.Float64s(vals)
+		autoTau = max(kTau, selectThresholdFDRSorted(vals, sm.Beta(), opt.FDRAlpha))
 	case ThresholdFDR:
 		autoTau = SelectThresholdFDR(imi, sm.Beta(), opt.FDRAlpha)
 	case ThresholdKMeans, ThresholdKMeansPerNode:
@@ -336,10 +345,14 @@ func backwardPrune(s *Scorer, child int, parents []int) []int {
 }
 
 // combo is a candidate parent-node combination W with its standalone score
-// g(v_i, W).
+// g(v_i, W). When the candidate pool fits in 64 bits, mask holds W's
+// membership as bits over the candidate indices (bit k ⇔ cands[k], in
+// ascending order matching nodes); 0 means no mask was assigned and the
+// merges fall back to map-based membership.
 type combo struct {
 	nodes []int
 	score float64
+	mask  uint64
 }
 
 // enumerateCombos lists every combination W ⊆ cands with |W| ≤ MaxComboSize
@@ -364,6 +377,8 @@ func enumerateCombos(ctx context.Context, s *Scorer, child int, cands []int, opt
 	sc := s.newComboScratch(maxSize)
 	packedLim := sc.packedLimit()
 	cur := make([]int, 0, maxSize)
+	maskable := len(cands) <= 64
+	var curMask uint64
 	var rec func(start int)
 	rec = func(start int) {
 		if d := len(cur); d > 0 {
@@ -374,7 +389,7 @@ func enumerateCombos(ctx context.Context, s *Scorer, child int, cands []int, opt
 				parts = s.LocalScoreParts(child, cur)
 			}
 			if opt.DisableBound || s.BoundHolds(child, d, parts.Phi) {
-				out = append(out, combo{nodes: append([]int(nil), cur...), score: parts.Score()})
+				out = append(out, combo{nodes: append([]int(nil), cur...), score: parts.Score(), mask: curMask})
 			} else {
 				// Supersets only get larger; Theorem 2 will reject them
 				// too once φ growth stalls, but φ can grow with the set,
@@ -394,11 +409,17 @@ func enumerateCombos(ctx context.Context, s *Scorer, child int, cands []int, opt
 				return
 			}
 			cur = append(cur, cands[k])
+			if maskable {
+				curMask |= 1 << uint(k)
+			}
 			if d := len(cur); d <= packedLim {
 				sc.extend(s, d, cands[k])
 			}
 			rec(k + 1)
 			cur = cur[:len(cur)-1]
+			if maskable {
+				curMask &^= 1 << uint(k)
+			}
 		}
 	}
 	rec(0)
@@ -416,8 +437,7 @@ func enumerateCombos(ctx context.Context, s *Scorer, child int, cands []int, opt
 // absorbs the signal a combination carries, so stale heads re-sink and the
 // scan touches a small fraction of the combination pool per iteration.
 func adaptiveMerge(ctx context.Context, s *Scorer, child int, combos []combo, opt Options, merges *obs.Counter) []int {
-	inF := make(map[int]bool)
-	var parents []int
+	st := newMergeState(combos)
 	curScore := s.LocalScore(child, nil)
 	emptyScore := curScore
 
@@ -435,8 +455,8 @@ func adaptiveMerge(ctx context.Context, s *Scorer, child int, combos []combo, op
 			break
 		}
 		if top.round != round {
-			union := mergeSets(parents, top.nodes, inF)
-			if len(union) == len(parents) || len(union) > 63 {
+			union := st.probeUnion(&top.combo)
+			if union == nil {
 				heap.Pop(&h)
 				continue
 			}
@@ -454,19 +474,22 @@ func adaptiveMerge(ctx context.Context, s *Scorer, child int, combos []combo, op
 			heap.Fix(&h, 0)
 			continue
 		}
-		// Fresh top: accept it.
-		union := mergeSets(parents, top.nodes, inF)
-		curScore += top.gain
-		heap.Pop(&h)
-		parents = union
-		for _, v := range parents {
-			inF[v] = true
+		// Fresh top: accept it. The probe cannot fail here — a top at the
+		// current round either passed it this round or is an initial entry
+		// probed against the empty set.
+		union := st.probeUnion(&top.combo)
+		if union == nil {
+			heap.Pop(&h)
+			continue
 		}
+		curScore += top.gain
+		st.accept(&top.combo, union)
+		heap.Pop(&h)
 		merges.Inc()
 		round++
 	}
-	sort.Ints(parents)
-	return parents
+	sort.Ints(st.parents)
+	return st.parents
 }
 
 // lazyCombo is a heap entry: a combination with its last-computed score
@@ -497,33 +520,92 @@ func (h *comboHeap) Pop() any {
 func staticMerge(s *Scorer, child int, combos []combo, opt Options, merges *obs.Counter) []int {
 	sorted := append([]combo(nil), combos...)
 	sort.SliceStable(sorted, func(a, b int) bool { return sorted[a].score > sorted[b].score })
-	inF := make(map[int]bool)
-	var parents []int
-	for _, c := range sorted {
-		union := mergeSets(parents, c.nodes, inF)
-		if len(union) == len(parents) || len(union) > 63 {
+	st := newMergeState(sorted)
+	for i := range sorted {
+		c := &sorted[i]
+		union := st.probeUnion(c)
+		if union == nil {
 			continue
 		}
 		parts := s.LocalScoreParts(child, union)
 		if !opt.DisableBound && !s.BoundHolds(child, len(union), parts.Phi) {
 			continue
 		}
-		parents = union
-		for _, v := range parents {
-			inF[v] = true
-		}
+		st.accept(c, union)
 		merges.Inc()
 	}
-	sort.Ints(parents)
-	return parents
+	sort.Ints(st.parents)
+	return st.parents
 }
 
-func mergeSets(parents, add []int, inF map[int]bool) []int {
-	union := append([]int(nil), parents...)
-	for _, v := range add {
-		if !inF[v] {
+// mergeState tracks the greedy merges' growing parent set F without
+// per-probe allocations. Membership is a uint64 bitmask over the candidate
+// indices assigned in enumerateCombos whenever the pool fits in 64 bits —
+// the common case, since MaxCandidates defaults to 32 — with a map fallback
+// for unbounded pools. Probe unions are built in a reusable buffer, so a
+// rejected probe allocates nothing at all.
+type mergeState struct {
+	mask    uint64
+	inF     map[int]bool // non-nil only when the combos carry no masks
+	parents []int
+	buf     []int
+}
+
+func newMergeState(combos []combo) *mergeState {
+	st := &mergeState{}
+	if len(combos) > 0 && combos[0].mask == 0 {
+		st.inF = make(map[int]bool)
+	}
+	return st
+}
+
+// probeUnion returns F ∪ W in scoring order — the current parents followed
+// by W's new nodes in W order — or nil when the union adds nothing or would
+// exceed 63 parents. The returned slice aliases the reusable buffer and is
+// valid only until the next probe; pass it to accept to make it the parent
+// set.
+func (st *mergeState) probeUnion(c *combo) []int {
+	if st.inF == nil {
+		um := st.mask | c.mask
+		if um == st.mask || bits.OnesCount64(um) > 63 {
+			return nil
+		}
+		st.buf = append(st.buf[:0], st.parents...)
+		// The i-th lowest set bit of c.mask corresponds to c.nodes[i]
+		// (both ascend through the candidate pool), so walk them in step
+		// to pick out the nodes not yet in F.
+		rem := c.mask
+		newBits := c.mask &^ st.mask
+		for _, v := range c.nodes {
+			bit := rem & (-rem)
+			rem &^= bit
+			if newBits&bit != 0 {
+				st.buf = append(st.buf, v)
+			}
+		}
+		return st.buf
+	}
+	union := append(st.buf[:0], st.parents...)
+	for _, v := range c.nodes {
+		if !st.inF[v] {
 			union = append(union, v)
 		}
 	}
+	st.buf = union
+	if len(union) == len(st.parents) || len(union) > 63 {
+		return nil
+	}
 	return union
+}
+
+// accept commits a probed union as the new parent set.
+func (st *mergeState) accept(c *combo, union []int) {
+	st.parents = append(st.parents, union[len(st.parents):]...)
+	if st.inF == nil {
+		st.mask |= c.mask
+	} else {
+		for _, v := range st.parents {
+			st.inF[v] = true
+		}
+	}
 }

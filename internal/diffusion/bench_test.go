@@ -26,6 +26,22 @@ func BenchmarkSimulateIC(b *testing.B) {
 	}
 }
 
+// BenchmarkSimulateICDense stresses the trial loop on a dense network
+// (average degree 40), where per-edge probability lookups dominate.
+func BenchmarkSimulateICDense(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := graph.GNM(200, 8000, rng)
+	ep := NewEdgeProbs(g, 0.1, 0.05, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(int64(i)))
+		if _, err := Simulate(ep, Config{Alpha: 0.15, Beta: 150}, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkSimulateLT(b *testing.B) {
 	ep := benchNetwork(b)
 	b.ReportAllocs()

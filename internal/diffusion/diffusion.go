@@ -32,18 +32,45 @@ import (
 	"tends/internal/stats"
 )
 
-// EdgeProbs holds per-edge propagation probabilities for a network.
+// EdgeProbs holds per-edge propagation probabilities for a network in a
+// flat CSR layout: children[off[u]:off[u+1]] are u's children in ascending
+// order (the g.Edges() order) with probs aligned index-for-index, so the
+// simulator's innermost trial loop runs over two parallel slices with zero
+// map lookups. The layout snapshots g's topology at construction time;
+// edges added to g afterwards have probability 0 and are never traversed.
 type EdgeProbs struct {
-	g     *graph.Directed
-	probs map[graph.Edge]float64
+	g        *graph.Directed
+	off      []int32   // len n+1; per-node spans into children/probs
+	children []int32   // flattened child lists, ascending per node
+	probs    []float64 // aligned with children
+}
+
+// newEdgeProbs lays out g's adjacency in CSR form with zeroed probabilities.
+func newEdgeProbs(g *graph.Directed) *EdgeProbs {
+	n := g.NumNodes()
+	ep := &EdgeProbs{
+		g:        g,
+		off:      make([]int32, n+1),
+		children: make([]int32, 0, g.NumEdges()),
+	}
+	for u := 0; u < n; u++ {
+		for _, v := range g.Children(u) {
+			ep.children = append(ep.children, int32(v))
+		}
+		ep.off[u+1] = int32(len(ep.children))
+	}
+	ep.probs = make([]float64, len(ep.children))
+	return ep
 }
 
 // NewEdgeProbs draws a propagation probability for every edge of g from a
 // truncated Gaussian with mean mu and standard deviation sigma.
 func NewEdgeProbs(g *graph.Directed, mu, sigma float64, rng *rand.Rand) *EdgeProbs {
-	ep := &EdgeProbs{g: g, probs: make(map[graph.Edge]float64, g.NumEdges())}
-	for _, e := range g.Edges() {
-		ep.probs[e] = stats.TruncatedGaussian(rng, mu, sigma, 0, 1)
+	// CSR order is exactly g.Edges() order, so the RNG draw sequence is the
+	// same as iterating g.Edges() — fixed-seed workloads are unchanged.
+	ep := newEdgeProbs(g)
+	for k := range ep.probs {
+		ep.probs[k] = stats.TruncatedGaussian(rng, mu, sigma, 0, 1)
 	}
 	return ep
 }
@@ -53,9 +80,9 @@ func UniformEdgeProbs(g *graph.Directed, p float64) *EdgeProbs {
 	if p <= 0 || p >= 1 {
 		panic(fmt.Sprintf("diffusion: probability %v outside (0,1)", p))
 	}
-	ep := &EdgeProbs{g: g, probs: make(map[graph.Edge]float64, g.NumEdges())}
-	for _, e := range g.Edges() {
-		ep.probs[e] = p
+	ep := newEdgeProbs(g)
+	for k := range ep.probs {
+		ep.probs[k] = p
 	}
 	return ep
 }
@@ -64,16 +91,21 @@ func UniformEdgeProbs(g *graph.Directed, p float64) *EdgeProbs {
 // (e.g. the output of a probability estimator). Every edge of g must have a
 // probability in (0, 1); entries for non-edges are rejected.
 func EdgeProbsFromMap(g *graph.Directed, probs map[graph.Edge]float64) (*EdgeProbs, error) {
-	ep := &EdgeProbs{g: g, probs: make(map[graph.Edge]float64, g.NumEdges())}
-	for _, e := range g.Edges() {
-		p, ok := probs[e]
-		if !ok {
-			return nil, fmt.Errorf("diffusion: missing probability for edge %v", e)
+	ep := newEdgeProbs(g)
+	k := 0
+	for u := 0; u < g.NumNodes(); u++ {
+		for _, v := range g.Children(u) {
+			e := graph.Edge{From: u, To: v}
+			p, ok := probs[e]
+			if !ok {
+				return nil, fmt.Errorf("diffusion: missing probability for edge %v", e)
+			}
+			if p <= 0 || p >= 1 {
+				return nil, fmt.Errorf("diffusion: probability %v for edge %v outside (0,1)", p, e)
+			}
+			ep.probs[k] = p
+			k++
 		}
-		if p <= 0 || p >= 1 {
-			return nil, fmt.Errorf("diffusion: probability %v for edge %v outside (0,1)", p, e)
-		}
-		ep.probs[e] = p
 	}
 	for e := range probs {
 		if !g.HasEdge(e.From, e.To) {
@@ -84,9 +116,24 @@ func EdgeProbsFromMap(g *graph.Directed, probs map[graph.Edge]float64) (*EdgePro
 }
 
 // Prob returns the propagation probability of edge (from, to); zero if the
-// edge does not exist.
+// edge does not exist (or was added to the graph after construction).
 func (ep *EdgeProbs) Prob(from, to int) float64 {
-	return ep.probs[graph.Edge{From: from, To: to}]
+	if from < 0 || from >= len(ep.off)-1 {
+		return 0
+	}
+	lo, hi := int(ep.off[from]), int(ep.off[from+1])
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if int(ep.children[mid]) < to {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < int(ep.off[from+1]) && int(ep.children[lo]) == to {
+		return ep.probs[lo]
+	}
+	return 0
 }
 
 // Graph returns the underlying network.
@@ -172,8 +219,9 @@ func SimulateContext(ctx context.Context, ep *EdgeProbs, cfg Config, rng *rand.R
 		Statuses: NewStatusMatrix(cfg.Beta, n),
 		Cascades: make([]Cascade, cfg.Beta),
 	}
+	sc := newSimScratch(n)
 	for proc := 0; proc < cfg.Beta; proc++ {
-		cascade := runProcess(ep, numSeeds, rng)
+		cascade := runProcess(ep, numSeeds, rng, sc)
 		res.Cascades[proc] = cascade
 		for _, inf := range cascade.Infections {
 			res.Statuses.Set(proc, inf.Node, true)
@@ -189,42 +237,81 @@ func SimulateContext(ctx context.Context, ep *EdgeProbs, cfg Config, rng *rand.R
 	return res, nil
 }
 
+// simScratch holds the per-process working state of runProcess, allocated
+// once per Simulate call and reused across its β cascades. Only the cascade
+// trace itself (which escapes into the Result) is allocated per process.
+type simScratch struct {
+	perm     []int     // seed permutation buffer
+	infected []bool    // cleared after each process via the infection list
+	times    []float64 // valid only for nodes infected in the current process
+	frontier []int
+	next     []int
+}
+
+func newSimScratch(n int) *simScratch {
+	return &simScratch{
+		perm:     make([]int, n),
+		infected: make([]bool, n),
+		times:    make([]float64, n),
+		frontier: make([]int, 0, n),
+		next:     make([]int, 0, n),
+	}
+}
+
 // runProcess executes a single independent-cascade process.
-func runProcess(ep *EdgeProbs, numSeeds int, rng *rand.Rand) Cascade {
-	n := ep.g.NumNodes()
-	seeds := rng.Perm(n)[:numSeeds]
-	infected := make([]bool, n)
+func runProcess(ep *EdgeProbs, numSeeds int, rng *rand.Rand, sc *simScratch) Cascade {
+	n := len(sc.perm)
+	// In-place Fisher–Yates with the same Intn draw sequence as rng.Perm(n)
+	// — including the i=0 self-swap draw rand.Perm makes — so fixed-seed
+	// cascades are byte-identical to the allocating version.
+	perm := sc.perm
+	for i := 0; i < n; i++ {
+		j := rng.Intn(i + 1)
+		perm[i] = perm[j]
+		perm[j] = i
+	}
+	seeds := perm[:numSeeds]
+	infected, times := sc.infected, sc.times
 	var cascade Cascade
 	cascade.Seeds = append([]int(nil), seeds...)
 
-	frontier := make([]int, 0, numSeeds)
-	times := make([]float64, n)
+	frontier, next := sc.frontier[:0], sc.next[:0]
 	for _, s := range seeds {
 		infected[s] = true
+		times[s] = 0
 		cascade.Infections = append(cascade.Infections, Infection{Node: s, Round: 0, Time: 0, Parent: -1})
 		frontier = append(frontier, s)
 	}
 	round := 0
 	for len(frontier) > 0 {
 		round++
-		var next []int
+		next = next[:0]
 		for _, u := range frontier {
-			for _, v := range ep.g.Children(u) {
+			tu := times[u]
+			// The innermost trial loop: CSR spans only, no map lookups.
+			for k, end := int(ep.off[u]), int(ep.off[u+1]); k < end; k++ {
+				v := int(ep.children[k])
 				if infected[v] {
 					continue
 				}
-				if rng.Float64() < ep.Prob(u, v) {
+				if rng.Float64() < ep.probs[k] {
 					infected[v] = true
 					// Continuous time: parent's time plus an exponential
 					// transmission delay, the model NetRate assumes.
-					t := times[u] + rng.ExpFloat64()
+					t := tu + rng.ExpFloat64()
 					times[v] = t
 					cascade.Infections = append(cascade.Infections, Infection{Node: v, Round: round, Time: t, Parent: u})
 					next = append(next, v)
 				}
 			}
 		}
-		frontier = next
+		frontier, next = next, frontier
 	}
+	// Reset the infected marks for the next process; times needs no reset
+	// because it is only read for nodes infected in the same process.
+	for _, inf := range cascade.Infections {
+		infected[inf.Node] = false
+	}
+	sc.frontier, sc.next = frontier, next
 	return cascade
 }

@@ -203,7 +203,7 @@ func TestSimulateErrors(t *testing.T) {
 			t.Fatalf("case %d: Simulate(%+v) succeeded, want error", i, cfg)
 		}
 	}
-	empty := &EdgeProbs{g: graph.New(0), probs: map[graph.Edge]float64{}}
+	empty := newEdgeProbs(graph.New(0))
 	if _, err := Simulate(empty, Config{Alpha: 0.5, Beta: 1}, rng); err == nil {
 		t.Fatal("Simulate on empty network should fail")
 	}

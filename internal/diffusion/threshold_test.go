@@ -109,7 +109,7 @@ func TestSimulateLTErrors(t *testing.T) {
 		}
 		t.Fatalf("SimulateLT(%+v) should fail", cfg)
 	}
-	empty := &EdgeProbs{g: graph.New(0), probs: map[graph.Edge]float64{}}
+	empty := newEdgeProbs(graph.New(0))
 	if _, err := SimulateLT(empty, Config{Alpha: 0.5, Beta: 1}, rng); err == nil {
 		t.Fatal("empty network should fail")
 	}

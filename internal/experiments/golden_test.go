@@ -15,7 +15,9 @@ var updateGolden = flag.Bool("update", false, "rewrite golden fixtures from the 
 // goldenFigure is a fixed two-point, two-algorithm sweep on a seeded LFR
 // workload — deterministic at any worker count, so the CSV it produces is a
 // stable regression surface for the whole pipeline (LFR generation,
-// simulation, inference, scoring, aggregation, CSV formatting).
+// simulation, inference, scoring, aggregation, CSV formatting). The fixture
+// bytes predate the CSR simulator and the dense NetRate/merge rewrites;
+// passing unchanged proves those hot-path refactors altered no output.
 func goldenFigure() Figure {
 	chain := func(seed int64) (*graph.Directed, error) {
 		g := graph.Chain(20)
