@@ -15,6 +15,9 @@
 //	benchfig -all -progress                 # throttled cells-done/ETA line
 //	benchfig -fig 4 -obs-json obs.json      # dump phase timings and counters
 //	benchfig -all -pprof localhost:6060     # live CPU/heap profiles
+//	benchfig -fig 1 -chaos "experiments.cell.infer=0.2" -chaos-seed 7 -retries 2
+//	benchfig -fig 1 -node-deadline 50ms -combo-budget 5000   # degrade, don't hang
+//	benchfig -fig 1 -retries 3 -retry-backoff 100ms -breaker 2
 //
 // Each (point, repeat) workload is generated once and shared by every
 // compared algorithm; -workers bounds how many (point, repeat, algorithm)
@@ -22,7 +25,9 @@
 // identical at any worker count, runtimes excepted.
 //
 // The harness is fault tolerant: a panicking or failing algorithm run is
-// contained to its cell (rendered ERR, retried per -retries), -cell-timeout
+// contained to its cell (rendered ERR, retried per -retries with -retry-backoff
+// exponential delays, and a -breaker circuit breaker that stops retrying a cell
+// class once enough of its tasks have exhausted every attempt), -cell-timeout
 // bounds each cell's runtime, and SIGINT/SIGTERM cancels the sweep cleanly —
 // in-flight cells are drained, the checkpoint journal and partial output are
 // flushed, and the process exits with status 130. A later -resume run
@@ -43,6 +48,7 @@ import (
 	"syscall"
 	"time"
 
+	"tends/internal/chaos"
 	"tends/internal/datasets"
 	"tends/internal/experiments"
 	"tends/internal/graph"
@@ -74,6 +80,13 @@ type runOpts struct {
 	obsJSON     string
 	progress    bool
 	pprofAddr   string
+
+	chaosSpec    string
+	chaosSeed    int64
+	nodeDeadline time.Duration
+	comboBudget  int
+	retryBackoff time.Duration
+	breaker      int
 }
 
 func main() {
@@ -97,6 +110,12 @@ func main() {
 	flag.StringVar(&o.obsJSON, "obs-json", "", "write an observability snapshot (counters, gauges, phase timings) as JSON to this file")
 	flag.BoolVar(&o.progress, "progress", false, "print a throttled cells-done/ETA line to stderr")
 	flag.StringVar(&o.pprofAddr, "pprof", "", "serve net/http/pprof on this address, e.g. localhost:6060")
+	flag.StringVar(&o.chaosSpec, "chaos", "", `inject deterministic faults: "site=rate,site:kind=rate,..." (kinds: error, panic, delay; sites: `+strings.Join(chaos.Sites(), ", ")+")")
+	flag.Int64Var(&o.chaosSeed, "chaos-seed", 1, "seed for the chaos injector's fault decisions (independent of -seed)")
+	flag.DurationVar(&o.nodeDeadline, "node-deadline", 0, "soft per-node TENDS search deadline; breaching nodes keep best-so-far parents (0 = none)")
+	flag.IntVar(&o.comboBudget, "combo-budget", 0, "cap on parent combinations scored per TENDS node; breaching nodes degrade (0 = none)")
+	flag.DurationVar(&o.retryBackoff, "retry-backoff", 0, "base delay before cell retries, doubled per attempt with seeded jitter (0 = immediate)")
+	flag.IntVar(&o.breaker, "breaker", 0, "stop retrying a (point, algorithm) cell class after this many tasks exhaust every attempt (0 = never)")
 	flag.Parse()
 
 	if *ablation != "" {
@@ -226,8 +245,11 @@ func runAblation(name string, seed int64) error {
 
 // loadResume reads a checkpoint journal and validates its header against
 // the run's seed and repeats, so restored cells can never silently mix with
-// freshly computed ones from a different configuration.
-func loadResume(path string, seed int64, repeats int) (map[experiments.CellKey]experiments.Measurement, error) {
+// freshly computed ones from a different configuration. Corrupt lines (a
+// crash mid-append) are skipped, not fatal: each is reported to stderr with
+// a closing count, and the count lands on the recorder (nil-safe) so an
+// -obs-json snapshot records how much of the journal was unusable.
+func loadResume(path string, seed int64, repeats int, rec *obs.Recorder) (map[experiments.CellKey]experiments.Measurement, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -236,6 +258,10 @@ func loadResume(path string, seed int64, repeats int) (map[experiments.CellKey]e
 	header, cells, warnings, err := experiments.LoadJournal(f)
 	for _, w := range warnings {
 		fmt.Fprintf(os.Stderr, "benchfig: %s: %s\n", path, w)
+	}
+	if len(warnings) > 0 {
+		fmt.Fprintf(os.Stderr, "benchfig: %s: skipped %d corrupt journal line(s); the cells they held will be recomputed\n", path, len(warnings))
+		rec.Counter("benchfig/journal_corrupt_lines").Add(int64(len(warnings)))
 	}
 	if err != nil {
 		return nil, fmt.Errorf("resume %s: %w", path, err)
@@ -248,6 +274,32 @@ func loadResume(path string, seed int64, repeats int) (map[experiments.CellKey]e
 }
 
 func run(ctx context.Context, o runOpts) (int, error) {
+	if o.repeats < 0 {
+		return exitErr, fmt.Errorf("usage: -repeats must be >= 0, got %d", o.repeats)
+	}
+	if o.workers < 0 {
+		return exitErr, fmt.Errorf("usage: -workers must be >= 0, got %d", o.workers)
+	}
+	if o.retries < 0 {
+		return exitErr, fmt.Errorf("usage: -retries must be >= 0, got %d", o.retries)
+	}
+	if o.comboBudget < 0 {
+		return exitErr, fmt.Errorf("usage: -combo-budget must be >= 0, got %d", o.comboBudget)
+	}
+	if o.breaker < 0 {
+		return exitErr, fmt.Errorf("usage: -breaker must be >= 0, got %d", o.breaker)
+	}
+	if o.nodeDeadline < 0 || o.retryBackoff < 0 {
+		return exitErr, fmt.Errorf("usage: -node-deadline and -retry-backoff must be >= 0")
+	}
+	var injector *chaos.Injector
+	if o.chaosSpec != "" {
+		rules, err := chaos.ParseSpec(o.chaosSpec)
+		if err != nil {
+			return exitErr, fmt.Errorf("usage: -chaos: %w", err)
+		}
+		injector = chaos.New(o.chaosSeed, rules)
+	}
 	figs := experiments.Figures()
 	var ids []int
 	switch {
@@ -277,10 +329,19 @@ func run(ctx context.Context, o runOpts) (int, error) {
 		return exitErr, fmt.Errorf("-checkpoint %s conflicts with -resume %s: a resumed run continues its own journal", o.checkpoint, o.resume)
 	}
 
+	// The observability recorder is a pure side channel (measurements, CSV
+	// bytes, and the journal are identical with and without it), so it is
+	// created whenever any obs output was requested. It must exist before the
+	// resume journal is loaded so corrupt-line counts land on it.
+	var rec *obs.Recorder
+	if o.obsJSON != "" || o.progress {
+		rec = obs.New()
+	}
+
 	var resumeCells map[experiments.CellKey]experiments.Measurement
 	if o.resume != "" {
 		var err error
-		resumeCells, err = loadResume(o.resume, o.seed, repeats)
+		resumeCells, err = loadResume(o.resume, o.seed, repeats, rec)
 		if err != nil {
 			return exitErr, err
 		}
@@ -314,13 +375,6 @@ func run(ctx context.Context, o runOpts) (int, error) {
 	if !o.quiet {
 		progress = os.Stderr
 	}
-	// The observability recorder is a pure side channel (measurements, CSV
-	// bytes, and the journal are identical with and without it), so it is
-	// created whenever any obs output was requested.
-	var rec *obs.Recorder
-	if o.obsJSON != "" || o.progress {
-		rec = obs.New()
-	}
 	if o.pprofAddr != "" {
 		if err := startPprof(o.pprofAddr); err != nil {
 			return exitErr, err
@@ -339,14 +393,19 @@ func run(ctx context.Context, o runOpts) (int, error) {
 			fig = experiments.SelectAlgorithms(fig, algoOverride...)
 		}
 		cfg := experiments.Config{
-			Seed:        o.seed,
-			Repeats:     o.repeats,
-			Workers:     o.workers,
-			CellTimeout: o.cellTimeout,
-			Retries:     o.retries,
-			Checkpoint:  journal,
-			Resume:      resumeCells,
-			Obs:         rec,
+			Seed:             o.seed,
+			Repeats:          o.repeats,
+			Workers:          o.workers,
+			CellTimeout:      o.cellTimeout,
+			Retries:          o.retries,
+			RetryBackoff:     o.retryBackoff,
+			BreakerThreshold: o.breaker,
+			NodeDeadline:     o.nodeDeadline,
+			ComboBudget:      o.comboBudget,
+			Chaos:            injector,
+			Checkpoint:       journal,
+			Resume:           resumeCells,
+			Obs:              rec,
 		}
 		ms, rs, err := experiments.RunContext(ctx, fig, cfg, progress)
 		if err != nil && !errors.Is(err, context.Canceled) {
@@ -359,6 +418,7 @@ func run(ctx context.Context, o runOpts) (int, error) {
 		total.CancelledCells += rs.CancelledCells
 		total.Retried += rs.Retried
 		total.Recovered += rs.Recovered
+		total.BreakerSkipped += rs.BreakerSkipped
 		if err := experiments.WriteTable(os.Stdout, fig, ms); err != nil {
 			return exitErr, err
 		}
@@ -395,9 +455,17 @@ func run(ctx context.Context, o runOpts) (int, error) {
 			return exitErr, err
 		}
 	}
-	if interrupted || total.FailedCells+total.CancelledCells+total.Retried+total.Restored > 0 {
-		fmt.Fprintf(os.Stderr, "benchfig: %d/%d cells failed, %d cancelled, %d restored, %d retries (%d recovered)\n",
-			total.FailedCells, total.Cells, total.CancelledCells, total.Restored, total.Retried, total.Recovered)
+	degradedNodes := 0
+	for _, m := range allMeasurements {
+		degradedNodes += m.DegradedNodes
+	}
+	if interrupted || total.FailedCells+total.CancelledCells+total.Retried+total.Restored+total.BreakerSkipped+degradedNodes > 0 {
+		fmt.Fprintf(os.Stderr, "benchfig: %d/%d cells failed, %d cancelled, %d restored, %d retries (%d recovered, %d breaker-skipped), %d degraded nodes\n",
+			total.FailedCells, total.Cells, total.CancelledCells, total.Restored, total.Retried, total.Recovered, total.BreakerSkipped, degradedNodes)
+	}
+	if injector != nil {
+		fmt.Fprintf(os.Stderr, "benchfig: chaos injected %d faults, %d delays (-chaos %q -chaos-seed %d)\n",
+			injector.TotalFaults(), injector.TotalDelays(), o.chaosSpec, o.chaosSeed)
 	}
 	switch {
 	case interrupted:

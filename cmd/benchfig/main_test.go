@@ -1,8 +1,16 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
+	"time"
+
+	"tends/internal/experiments"
+	"tends/internal/obs"
 )
 
 func TestParseAlgos(t *testing.T) {
@@ -39,6 +47,62 @@ func TestRunValidation(t *testing.T) {
 	if _, err := run(ctx, runOpts{figNum: 1, repeats: 1, seed: 1, quiet: true,
 		resume: t.TempDir() + "/missing.jsonl"}); err == nil {
 		t.Fatal("missing -resume journal should fail")
+	}
+	for name, o := range map[string]runOpts{
+		"negative repeats":      {figNum: 1, repeats: -1, seed: 1, quiet: true},
+		"negative workers":      {figNum: 1, repeats: 1, workers: -2, seed: 1, quiet: true},
+		"negative retries":      {figNum: 1, repeats: 1, retries: -1, seed: 1, quiet: true},
+		"negative combo budget": {figNum: 1, repeats: 1, comboBudget: -1, seed: 1, quiet: true},
+		"negative breaker":      {figNum: 1, repeats: 1, breaker: -3, seed: 1, quiet: true},
+		"negative deadline":     {figNum: 1, repeats: 1, nodeDeadline: -time.Second, seed: 1, quiet: true},
+		"negative backoff":      {figNum: 1, repeats: 1, retryBackoff: -time.Millisecond, seed: 1, quiet: true},
+	} {
+		if _, err := run(ctx, o); err == nil || !strings.Contains(err.Error(), "usage:") {
+			t.Fatalf("%s should fail with a usage error, got %v", name, err)
+		}
+	}
+	if _, err := run(ctx, runOpts{figNum: 1, repeats: 1, seed: 1, quiet: true,
+		chaosSpec: "bogus.site=0.5"}); err == nil || !strings.Contains(err.Error(), "-chaos") {
+		t.Fatal("bad -chaos spec should fail before any work")
+	}
+	if _, err := run(ctx, runOpts{figNum: 1, repeats: 1, seed: 1, quiet: true,
+		chaosSpec: "experiments.cell.infer=2"}); err == nil {
+		t.Fatal("out-of-range chaos rate should fail before any work")
+	}
+}
+
+// A journal with corrupt lines (a crash mid-append) still resumes: the
+// intact cells are restored, and the skipped-line count lands on the
+// recorder so an -obs-json snapshot records the loss.
+func TestLoadResumeCountsCorruptLines(t *testing.T) {
+	var buf bytes.Buffer
+	j, err := experiments.NewJournal(&buf, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meas := experiments.Measurement{Figure: "FigX", Point: "p1", Algorithm: experiments.AlgoLIFT}
+	if err := j.Append(0, meas); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteString("{\"truncated\":\n")
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.New()
+	cells, err := loadResume(path, 5, 1, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 1 {
+		t.Fatalf("restored %d cells, want 1", len(cells))
+	}
+	if got := rec.Snapshot().Counters["benchfig/journal_corrupt_lines"]; got != 1 {
+		t.Fatalf("journal_corrupt_lines = %d, want 1", got)
+	}
+	// A nil recorder must not panic — resume without -obs-json.
+	if _, err := loadResume(path, 5, 1, nil); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -59,6 +59,11 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *combo < 0 || *workers < 0 || *scale < 0 {
+		fmt.Fprintln(os.Stderr, "tends: -combo, -workers and -scale must be >= 0")
+		flag.Usage()
+		os.Exit(2)
+	}
 	// SIGINT/SIGTERM cancels the inference cooperatively: the IMI and
 	// parent-search loops notice the context, the partially written output
 	// is abandoned, and the process exits with the conventional 130.

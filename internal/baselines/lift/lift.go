@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"sort"
 
+	"tends/internal/chaos"
 	"tends/internal/diffusion"
 	"tends/internal/graph"
 	"tends/internal/metrics"
@@ -52,6 +53,9 @@ func Infer(res *diffusion.Result, opt Options) ([]metrics.WeightedEdge, error) {
 // observability recorder (see internal/obs): a span for the pass and a
 // counter of scored pairs.
 func InferContext(ctx context.Context, res *diffusion.Result, opt Options) ([]metrics.WeightedEdge, error) {
+	if err := chaos.Maybe(ctx, chaos.SiteLIFTInfer); err != nil {
+		return nil, err
+	}
 	rec := obs.From(ctx)
 	defer rec.StartSpan("lift/infer").End()
 	opt = opt.withDefaults()

@@ -19,6 +19,7 @@ import (
 	"context"
 
 	"tends/internal/baselines/cascade"
+	"tends/internal/chaos"
 	"tends/internal/diffusion"
 	"tends/internal/graph"
 	"tends/internal/obs"
@@ -38,6 +39,9 @@ func Infer(res *diffusion.Result, m int, opt Options) (*graph.Directed, error) {
 // InferContext is Infer with cooperative cancellation inside the greedy
 // edge-selection loop.
 func InferContext(ctx context.Context, res *diffusion.Result, m int, opt Options) (*graph.Directed, error) {
+	if err := chaos.Maybe(ctx, chaos.SiteMulTreeInfer); err != nil {
+		return nil, err
+	}
 	defer obs.From(ctx).StartSpan("multree/infer").End()
 	set, err := cascade.Build(res, cascade.Options{Lambda: opt.Lambda, Epsilon: opt.Epsilon})
 	if err != nil {

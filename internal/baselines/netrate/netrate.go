@@ -31,6 +31,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"tends/internal/chaos"
 	"tends/internal/diffusion"
 	"tends/internal/graph"
 	"tends/internal/metrics"
@@ -79,6 +80,9 @@ func Infer(res *diffusion.Result, opt Options) ([]metrics.WeightedEdge, error) {
 // iterations, so a cancelled or timed-out context interrupts a long (or
 // non-converging) solve promptly with the context's error.
 func InferContext(ctx context.Context, res *diffusion.Result, opt Options) ([]metrics.WeightedEdge, error) {
+	if err := chaos.Maybe(ctx, chaos.SiteNetRateInfer); err != nil {
+		return nil, err
+	}
 	// Telemetry (no-op without a recorder in ctx): one span per solve, EM
 	// iterations and solved nodes counted across the per-node subproblems.
 	rec := obs.From(ctx)

@@ -1,0 +1,229 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"tends/internal/obs"
+)
+
+func TestParseSpec(t *testing.T) {
+	cases := []struct {
+		name    string
+		spec    string
+		want    []Rule
+		wantErr string
+	}{
+		{
+			name: "single error rule",
+			spec: "experiments.cell.infer=0.5",
+			want: []Rule{{Site: SiteCellInfer, Kind: KindError, Rate: 0.5}},
+		},
+		{
+			name: "kinds and whitespace",
+			spec: " core.infer:panic=0.1 , diffusion.simulate:delay=1, lift.infer:error=0 ",
+			want: []Rule{
+				{Site: SiteCoreInfer, Kind: KindPanic, Rate: 0.1},
+				{Site: SiteSimulate, Kind: KindDelay, Rate: 1},
+				{Site: SiteLIFTInfer, Kind: KindError, Rate: 0},
+			},
+		},
+		{
+			name: "same site different kinds",
+			spec: "experiments.cell.infer=0.3,experiments.cell.infer:panic=0.2",
+			want: []Rule{
+				{Site: SiteCellInfer, Kind: KindError, Rate: 0.3},
+				{Site: SiteCellInfer, Kind: KindPanic, Rate: 0.2},
+			},
+		},
+		{name: "empty spec", spec: "", wantErr: "empty spec"},
+		{name: "blank spec", spec: "  ", wantErr: "empty spec"},
+		{name: "empty entry", spec: "core.infer=0.5,,lift.infer=0.5", wantErr: "empty entry"},
+		{name: "missing rate", spec: "core.infer", wantErr: "not site=rate"},
+		{name: "unknown site", spec: "core.bogus=0.5", wantErr: "unknown site"},
+		{name: "unknown kind", spec: "core.infer:explode=0.5", wantErr: "unknown kind"},
+		{name: "rate above one", spec: "core.infer=1.5", wantErr: "outside [0,1]"},
+		{name: "negative rate", spec: "core.infer=-0.1", wantErr: "outside [0,1]"},
+		{name: "NaN rate", spec: "core.infer=NaN", wantErr: "outside [0,1]"},
+		{name: "unparsable rate", spec: "core.infer=lots", wantErr: "bad rate"},
+		{name: "duplicate site+kind", spec: "core.infer=0.1,core.infer=0.2", wantErr: "duplicate"},
+		{name: "duplicate explicit kind", spec: "core.infer:error=0.1,core.infer=0.2", wantErr: "duplicate"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rules, err := ParseSpec(tc.spec)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("ParseSpec(%q) err = %v, want substring %q", tc.spec, err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("ParseSpec(%q): %v", tc.spec, err)
+			}
+			if len(rules) != len(tc.want) {
+				t.Fatalf("ParseSpec(%q) = %+v, want %+v", tc.spec, rules, tc.want)
+			}
+			for i := range rules {
+				if rules[i] != tc.want[i] {
+					t.Fatalf("rule %d = %+v, want %+v", i, rules[i], tc.want[i])
+				}
+			}
+		})
+	}
+}
+
+// drawSequence records which of count calls at a site inject, under a fresh
+// injector and scope.
+func drawSequence(seed int64, tag uint64, site string, rate float64, count int) []bool {
+	in := New(seed, []Rule{{Site: site, Kind: KindError, Rate: rate}})
+	ctx := WithScope(With(context.Background(), in), tag)
+	out := make([]bool, count)
+	for i := range out {
+		out[i] = Maybe(ctx, site) != nil
+	}
+	return out
+}
+
+// The injected-fault sequence is a pure function of (seed, scope tag, site):
+// identical across runs, different across seeds and scopes.
+func TestInjectionDeterministic(t *testing.T) {
+	a := drawSequence(42, Tag(7, "x"), SiteCoreInfer, 0.5, 64)
+	b := drawSequence(42, Tag(7, "x"), SiteCoreInfer, 0.5, 64)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same configuration diverged at draw %d", i)
+		}
+	}
+	hits := 0
+	for _, v := range a {
+		if v {
+			hits++
+		}
+	}
+	if hits == 0 || hits == len(a) {
+		t.Fatalf("rate 0.5 produced %d/%d injections; decision function looks degenerate", hits, len(a))
+	}
+	diff := func(x, y []bool) bool {
+		for i := range x {
+			if x[i] != y[i] {
+				return true
+			}
+		}
+		return false
+	}
+	if !diff(a, drawSequence(43, Tag(7, "x"), SiteCoreInfer, 0.5, 64)) {
+		t.Fatal("changing the injector seed did not change the sequence")
+	}
+	if !diff(a, drawSequence(42, Tag(8, "x"), SiteCoreInfer, 0.5, 64)) {
+		t.Fatal("changing the scope tag did not change the sequence")
+	}
+}
+
+// Rates 0 and 1 are exact: never and always.
+func TestInjectionRateExtremes(t *testing.T) {
+	for _, v := range drawSequence(1, Tag(1), SiteLIFTInfer, 0, 128) {
+		if v {
+			t.Fatal("rate 0 injected")
+		}
+	}
+	for _, v := range drawSequence(1, Tag(1), SiteLIFTInfer, 1, 128) {
+		if !v {
+			t.Fatal("rate 1 failed to inject")
+		}
+	}
+}
+
+// Each kind produces its fault shape: errors wrap ErrInjected, panics carry
+// InjectedPanic, delays sleep and return nil.
+func TestInjectionKinds(t *testing.T) {
+	in := New(3, []Rule{
+		{Site: SiteCellInfer, Kind: KindError, Rate: 1},
+		{Site: SiteSimulate, Kind: KindPanic, Rate: 1},
+		{Site: SiteCoreInfer, Kind: KindDelay, Rate: 1},
+	})
+	in.SetDelay(time.Microsecond)
+	ctx := WithScope(With(context.Background(), in), Tag(3))
+
+	if err := Maybe(ctx, SiteCellInfer); !errors.Is(err, ErrInjected) {
+		t.Fatalf("error kind returned %v, want ErrInjected", err)
+	}
+	if got := in.Injected(SiteCellInfer, KindError); got != 1 {
+		t.Fatalf("error count = %d, want 1", got)
+	}
+
+	func() {
+		defer func() {
+			rec := recover()
+			p, ok := AsPanic(rec)
+			if !ok || p.Site != SiteSimulate {
+				t.Fatalf("panic kind recovered %v, want InjectedPanic at %s", rec, SiteSimulate)
+			}
+		}()
+		_ = Maybe(ctx, SiteSimulate)
+		t.Fatal("panic kind did not panic")
+	}()
+
+	if err := Maybe(ctx, SiteCoreInfer); err != nil {
+		t.Fatalf("delay kind returned %v, want nil", err)
+	}
+	if got := in.Injected(SiteCoreInfer, KindDelay); got != 1 {
+		t.Fatalf("delay count = %d, want 1", got)
+	}
+	if in.TotalFaults() != 2 || in.TotalDelays() != 1 {
+		t.Fatalf("totals = %d faults / %d delays, want 2/1", in.TotalFaults(), in.TotalDelays())
+	}
+}
+
+// Injections are counted on the obs recorder carried by the same context.
+func TestInjectionObsCounters(t *testing.T) {
+	in := New(5, []Rule{{Site: SiteCellInfer, Kind: KindError, Rate: 1}})
+	rec := obs.New()
+	ctx := WithScope(obs.With(With(context.Background(), in), rec), Tag(5))
+	for i := 0; i < 3; i++ {
+		if err := Maybe(ctx, SiteCellInfer); err == nil {
+			t.Fatal("rate 1 did not inject")
+		}
+	}
+	s := rec.Snapshot()
+	if s.Counters["chaos/injected/error"] != 3 {
+		t.Fatalf("chaos/injected/error = %d, want 3", s.Counters["chaos/injected/error"])
+	}
+	if s.Counters["chaos/site/"+SiteCellInfer] != 3 {
+		t.Fatalf("site counter = %d, want 3", s.Counters["chaos/site/"+SiteCellInfer])
+	}
+}
+
+// The disabled hot path — no injector in the context, or an armed injector
+// consulted at an unarmed site — must not allocate, like obs's no-op path.
+func TestMaybeDisabledNoAlloc(t *testing.T) {
+	plain := context.Background()
+	if allocs := testing.AllocsPerRun(100, func() {
+		if err := Maybe(plain, SiteCoreInfer); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("Maybe without injector allocates %.1f times per call", allocs)
+	}
+	in := New(1, []Rule{{Site: SiteCellInfer, Kind: KindError, Rate: 1}})
+	armed := WithScope(With(context.Background(), in), Tag(1))
+	if allocs := testing.AllocsPerRun(100, func() {
+		if err := Maybe(armed, SiteCoreInfer); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("Maybe at unarmed site allocates %.1f times per call", allocs)
+	}
+}
+
+// WithScope without an injector must leave the context untouched, so the
+// harness's scope tagging costs nothing when chaos is off.
+func TestWithScopeDisabledIsFree(t *testing.T) {
+	ctx := context.Background()
+	if WithScope(ctx, 123) != ctx {
+		t.Fatal("WithScope allocated a scope without an injector")
+	}
+}

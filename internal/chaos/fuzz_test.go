@@ -1,0 +1,71 @@
+package chaos
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// FuzzInjectorConfig hammers the -chaos spec parser: it must never panic,
+// and every accepted spec must produce only valid rules (known sites, rates
+// inside [0,1], no duplicate (site, kind) pairs) that New can arm.
+func FuzzInjectorConfig(f *testing.F) {
+	f.Add("experiments.cell.infer=0.5")
+	f.Add("core.infer:panic=0.1,diffusion.simulate:delay=1")
+	f.Add("lift.infer=0,netrate.infer=1")
+	f.Add("core.infer=0.5,core.infer=0.5")
+	f.Add("bogus.site=0.5")
+	f.Add("core.infer:explode=0.5")
+	f.Add("core.infer=1e300")
+	f.Add("core.infer=-1")
+	f.Add(",,,")
+	f.Add("=0.5")
+	f.Add("core.infer=")
+	f.Fuzz(func(t *testing.T, spec string) {
+		rules, err := ParseSpec(spec)
+		if err != nil {
+			if rules != nil {
+				t.Fatalf("ParseSpec(%q) returned rules alongside error %v", spec, err)
+			}
+			return
+		}
+		if len(rules) == 0 {
+			t.Fatalf("ParseSpec(%q) accepted a spec with no rules", spec)
+		}
+		known := make(map[string]bool)
+		for _, s := range Sites() {
+			known[s] = true
+		}
+		seen := make(map[string]bool)
+		for _, r := range rules {
+			if !known[r.Site] {
+				t.Fatalf("ParseSpec(%q) accepted unknown site %q", spec, r.Site)
+			}
+			if r.Kind != KindError && r.Kind != KindPanic && r.Kind != KindDelay {
+				t.Fatalf("ParseSpec(%q) produced invalid kind %d", spec, r.Kind)
+			}
+			if !(r.Rate >= 0 && r.Rate <= 1) {
+				t.Fatalf("ParseSpec(%q) accepted rate %v outside [0,1]", spec, r.Rate)
+			}
+			key := r.Site + ":" + r.Kind.String()
+			if seen[key] {
+				t.Fatalf("ParseSpec(%q) accepted duplicate %s", spec, key)
+			}
+			seen[key] = true
+		}
+		// An accepted spec must be armable.
+		_ = New(1, rules)
+		// And canonical round-trip: re-rendering and re-parsing keeps rules.
+		var parts []string
+		for _, r := range rules {
+			parts = append(parts, r.Site+":"+r.Kind.String()+"="+strconv.FormatFloat(r.Rate, 'g', -1, 64))
+		}
+		again, err := ParseSpec(strings.Join(parts, ","))
+		if err != nil {
+			t.Fatalf("re-parsing canonical form of %q failed: %v", spec, err)
+		}
+		if len(again) != len(rules) {
+			t.Fatalf("canonical round-trip changed rule count: %d vs %d", len(again), len(rules))
+		}
+	})
+}

@@ -1,0 +1,71 @@
+package chaos
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseSpec parses a -chaos flag value of the form
+//
+//	site=rate,site:kind=rate,...
+//
+// into injection rules. Each entry arms one (site, kind) pair at a rate in
+// [0, 1]; the kind suffix is one of error (the default), panic, or delay.
+// Sites must be drawn from Sites(), and the same (site, kind) pair may not
+// be armed twice. Whitespace around entries is tolerated; empty entries are
+// not. Rule order follows spec order, which matters for determinism: the
+// decision stream advances one draw per armed rule per Maybe call.
+func ParseSpec(spec string) ([]Rule, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, fmt.Errorf("chaos: empty spec")
+	}
+	known := make(map[string]bool)
+	for _, s := range Sites() {
+		known[s] = true
+	}
+	seen := make(map[string]bool)
+	var rules []Rule
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			return nil, fmt.Errorf("chaos: empty entry in spec %q", spec)
+		}
+		name, rateStr, ok := strings.Cut(entry, "=")
+		if !ok {
+			return nil, fmt.Errorf("chaos: entry %q is not site=rate", entry)
+		}
+		name = strings.TrimSpace(name)
+		site, kindStr, hasKind := strings.Cut(name, ":")
+		kind := KindError
+		if hasKind {
+			switch kindStr {
+			case "error":
+				kind = KindError
+			case "panic":
+				kind = KindPanic
+			case "delay":
+				kind = KindDelay
+			default:
+				return nil, fmt.Errorf("chaos: unknown kind %q in entry %q (want error, panic, delay)", kindStr, entry)
+			}
+		}
+		if !known[site] {
+			return nil, fmt.Errorf("chaos: unknown site %q (known: %s)", site, strings.Join(Sites(), ", "))
+		}
+		rate, err := strconv.ParseFloat(strings.TrimSpace(rateStr), 64)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: bad rate in entry %q: %v", entry, err)
+		}
+		if rate < 0 || rate > 1 || rate != rate {
+			return nil, fmt.Errorf("chaos: rate %v in entry %q outside [0,1]", rate, entry)
+		}
+		key := site + ":" + kind.String()
+		if seen[key] {
+			return nil, fmt.Errorf("chaos: duplicate entry for %s", key)
+		}
+		seen[key] = true
+		rules = append(rules, Rule{Site: site, Kind: kind, Rate: rate})
+	}
+	return rules, nil
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"runtime"
 	"testing"
+	"time"
 
 	"tends/internal/graph"
 )
@@ -52,7 +53,7 @@ func BenchmarkEnumerateCombos(b *testing.B) {
 		b.Run(map[int]string{2: "eta2", 3: "eta3"}[size], func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if combos := enumerateCombos(context.Background(), s, 0, cands, opt); len(combos) == 0 {
+				if combos, _ := enumerateCombos(context.Background(), s, 0, cands, opt, time.Time{}); len(combos) == 0 {
 					b.Fatal("no combinations enumerated")
 				}
 			}
@@ -109,7 +110,7 @@ func BenchmarkAdaptiveMerge(b *testing.B) {
 		cands[i] = 2 + 3*i
 	}
 	opt := Options{MaxComboSize: 2}.withDefaults()
-	combos := enumerateCombos(context.Background(), s, 0, cands, opt)
+	combos, _ := enumerateCombos(context.Background(), s, 0, cands, opt, time.Time{})
 	if len(combos) == 0 {
 		b.Fatal("no combinations enumerated")
 	}
@@ -117,7 +118,7 @@ func BenchmarkAdaptiveMerge(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		adaptiveMerge(context.Background(), s, 0, combos, opt, tel.merges)
+		adaptiveMerge(context.Background(), s, 0, combos, opt, tel.merges, time.Time{})
 	}
 }
 

@@ -8,7 +8,9 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
+	"tends/internal/chaos"
 	"tends/internal/diffusion"
 	"tends/internal/graph"
 	"tends/internal/obs"
@@ -85,6 +87,68 @@ type Options struct {
 	// little extra scoring work for precision. An extension beyond the
 	// paper's Algorithm 1 (off by default).
 	BackwardPrune bool
+
+	// NodeDeadline is a soft per-node deadline on the parent-set search.
+	// A node whose enumeration or greedy merge outlives it keeps its
+	// best-so-far parent set instead of failing the inference, and the node
+	// is reported in Result.Degraded with DegradeDeadline. Wall-clock based,
+	// so WHICH work survives the cut is timing-dependent; the result is
+	// still always a valid (possibly empty) parent set. 0 disables it.
+	NodeDeadline time.Duration
+
+	// ComboBudget caps the combinations enumerated per node. A node whose
+	// enumeration hits the cap merges only the combinations found so far and
+	// is reported in Result.Degraded with DegradeComboBudget. Unlike
+	// NodeDeadline this cut is deterministic: enumeration order is fixed, so
+	// the same inputs degrade identically at any worker count. The budget is
+	// checked between top-level enumeration subtrees, so it can overshoot by
+	// one subtree. 0 disables it.
+	ComboBudget int
+}
+
+// degradeMode reports whether graceful degradation is enabled: with either
+// limit set, a node search cut short — by its deadline, its budget, or a
+// cancelled context — keeps its best-so-far parents instead of erroring the
+// whole inference.
+func (o Options) degradeMode() bool {
+	return o.NodeDeadline > 0 || o.ComboBudget > 0
+}
+
+// DegradeReason says why a node's parent-set search was cut short.
+type DegradeReason uint8
+
+const (
+	// DegradeNone marks an undegraded node (never reported).
+	DegradeNone DegradeReason = iota
+	// DegradeDeadline: the node breached Options.NodeDeadline.
+	DegradeDeadline
+	// DegradeComboBudget: the node's enumeration hit Options.ComboBudget.
+	DegradeComboBudget
+	// DegradeCancelled: the context fired (cell timeout or run cancellation)
+	// while the node's search was running or still queued.
+	DegradeCancelled
+)
+
+// String returns the reason's report name.
+func (r DegradeReason) String() string {
+	switch r {
+	case DegradeNone:
+		return "none"
+	case DegradeDeadline:
+		return "deadline"
+	case DegradeComboBudget:
+		return "combo_budget"
+	case DegradeCancelled:
+		return "cancelled"
+	default:
+		return fmt.Sprintf("DegradeReason(%d)", int(r))
+	}
+}
+
+// NodeDegrade is one degraded node of a DegradeReport.
+type NodeDegrade struct {
+	Node   int
+	Reason DegradeReason
 }
 
 // ThresholdMethod enumerates the pruning-threshold selection strategies.
@@ -138,6 +202,12 @@ type Result struct {
 	NodeThresholds []float64
 	Parents        [][]int // parent set per node
 	Score          float64 // g(T) of the inferred topology
+	// Degraded is the degradation report: the nodes whose parent-set search
+	// was cut short (by Options.NodeDeadline, Options.ComboBudget, or
+	// cancellation while degradation is enabled), ascending by node. Each
+	// kept its best-so-far parents — a subset of what a full search finds.
+	// Empty when every node searched to completion.
+	Degraded []NodeDegrade
 }
 
 // Infer reconstructs the diffusion network topology from final infection
@@ -152,8 +222,19 @@ func Infer(sm *diffusion.StatusMatrix, opt Options) (*Result, error) {
 // timed-out context makes inference return promptly with the context's
 // error instead of running to completion. The inferred topology for a
 // context that never fires is identical to Infer's.
+//
+// With graceful degradation enabled (Options.NodeDeadline or ComboBudget
+// set), a context that fires during the parent-set search no longer fails
+// the inference: nodes already searched keep their parents, interrupted and
+// unsearched nodes keep their best-so-far (possibly empty) sets, and every
+// cut-short node is listed in Result.Degraded. Cancellation before the
+// search stage (during IMI or thresholding) still errors — there is no
+// partial topology to salvage there.
 func InferContext(ctx context.Context, sm *diffusion.StatusMatrix, opt Options) (*Result, error) {
 	opt = opt.withDefaults()
+	if err := chaos.Maybe(ctx, chaos.SiteCoreInfer); err != nil {
+		return nil, err
+	}
 	if sm.N() == 0 {
 		return nil, fmt.Errorf("core: status matrix has no nodes")
 	}
@@ -222,7 +303,9 @@ func InferContext(ctx context.Context, sm *diffusion.StatusMatrix, opt Options) 
 	}
 	thresholdSpan.End()
 	searchSpan := rec.StartSpan("core/search")
-	searchNode := func(i int) []int {
+	degrade := opt.degradeMode()
+	reasons := make([]DegradeReason, n)
+	searchNode := func(i int) {
 		nodeTau := tau
 		if perNode {
 			nodeTau = res.NodeThresholds[i]
@@ -233,7 +316,7 @@ func InferContext(ctx context.Context, sm *diffusion.StatusMatrix, opt Options) 
 			cands = cands[:opt.MaxCandidates]
 			sort.Ints(cands)
 		}
-		return searchParents(ctx, scorer, i, cands, opt, tel)
+		res.Parents[i], reasons[i] = searchParents(ctx, scorer, i, cands, opt, tel)
 	}
 
 	workers := opt.Workers
@@ -244,13 +327,20 @@ func InferContext(ctx context.Context, sm *diffusion.StatusMatrix, opt Options) 
 		workers = n
 	}
 	if workers <= 1 {
-		for i := 0; i < n && ctx.Err() == nil; i++ {
-			res.Parents[i] = searchNode(i)
+		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				if !degrade {
+					break
+				}
+				reasons[i] = DegradeCancelled
+				continue
+			}
+			searchNode(i)
 		}
 	} else {
 		// The per-node searches only read the scorer and IMI matrix;
-		// each worker writes a disjoint slot of res.Parents, so the
-		// output is identical for any worker count.
+		// each worker writes a disjoint slot of res.Parents (and reasons),
+		// so the output is identical for any worker count.
 		var wg sync.WaitGroup
 		next := make(chan int)
 		for w := 0; w < workers; w++ {
@@ -259,9 +349,14 @@ func InferContext(ctx context.Context, sm *diffusion.StatusMatrix, opt Options) 
 				defer wg.Done()
 				for i := range next {
 					if ctx.Err() != nil {
-						continue // drain the channel without working
+						// Drain the channel without working; in degrade
+						// mode the skipped node is reported, not lost.
+						if degrade {
+							reasons[i] = DegradeCancelled
+						}
+						continue
 					}
-					res.Parents[i] = searchNode(i)
+					searchNode(i)
 				}
 			}()
 		}
@@ -272,8 +367,32 @@ func InferContext(ctx context.Context, sm *diffusion.StatusMatrix, opt Options) 
 		wg.Wait()
 	}
 	searchSpan.End()
-	if err := ctx.Err(); err != nil {
+	if err := ctx.Err(); err != nil && !degrade {
 		return nil, fmt.Errorf("core: parent search: %w", err)
+	}
+	var deadlineC, budgetC, cancelC *obs.Counter
+	for i, r := range reasons {
+		if r == DegradeNone {
+			continue
+		}
+		res.Degraded = append(res.Degraded, NodeDegrade{Node: i, Reason: r})
+		switch r {
+		case DegradeDeadline:
+			if deadlineC == nil {
+				deadlineC = rec.Counter("core/degraded/deadline")
+			}
+			deadlineC.Inc()
+		case DegradeComboBudget:
+			if budgetC == nil {
+				budgetC = rec.Counter("core/degraded/combo_budget")
+			}
+			budgetC.Inc()
+		case DegradeCancelled:
+			if cancelC == nil {
+				cancelC = rec.Counter("core/degraded/cancelled")
+			}
+			cancelC.Inc()
+		}
 	}
 	for i, parents := range res.Parents {
 		for _, p := range parents {
@@ -292,28 +411,50 @@ type coreTel struct {
 }
 
 // searchParents runs the greedy most-probable-parent-set search for one
-// node over the pruned candidate set. A cancelled context makes it bail out
-// between phases with whatever partial answer it has; InferContext discards
-// the partial topology and surfaces the context error.
-func searchParents(ctx context.Context, s *Scorer, child int, cands []int, opt Options, tel coreTel) []int {
+// node over the pruned candidate set, returning the parents and the reason
+// the search was cut short (DegradeNone when it ran to completion). A
+// cancelled context makes it bail out between phases with whatever partial
+// answer it has; without degradation enabled InferContext discards the
+// partial topology and surfaces the context error, with it the partial
+// answer is the node's result.
+func searchParents(ctx context.Context, s *Scorer, child int, cands []int, opt Options, tel coreTel) ([]int, DegradeReason) {
 	if len(cands) == 0 {
-		return nil
+		return nil, DegradeNone
 	}
-	combos := enumerateCombos(ctx, s, child, cands, opt)
+	// The soft deadline covers the node's whole search: enumeration and
+	// merge share it, so a node that burns its budget enumerating still
+	// stops merging on time.
+	var deadline time.Time
+	if opt.NodeDeadline > 0 {
+		deadline = time.Now().Add(opt.NodeDeadline)
+	}
+	combos, reason := enumerateCombos(ctx, s, child, cands, opt, deadline)
 	tel.combos.Add(int64(len(combos)))
+	if ctx.Err() != nil && reason == DegradeNone {
+		reason = DegradeCancelled
+	}
 	if len(combos) == 0 || ctx.Err() != nil {
-		return nil
+		return nil, reason
 	}
 	var parents []int
+	var cut bool
 	if opt.StaticGreedy {
-		parents = staticMerge(s, child, combos, opt, tel.merges)
+		parents, cut = staticMerge(s, child, combos, opt, tel.merges, deadline)
 	} else {
-		parents = adaptiveMerge(ctx, s, child, combos, opt, tel.merges)
+		parents, cut = adaptiveMerge(ctx, s, child, combos, opt, tel.merges, deadline)
 	}
-	if opt.BackwardPrune {
+	if reason == DegradeNone {
+		switch {
+		case cut:
+			reason = DegradeDeadline
+		case ctx.Err() != nil:
+			reason = DegradeCancelled
+		}
+	}
+	if opt.BackwardPrune && reason == DegradeNone {
 		parents = backwardPrune(s, child, parents)
 	}
-	return parents
+	return parents, reason
 }
 
 // backwardPrune drops parents whose removal does not decrease the local
@@ -365,14 +506,22 @@ type combo struct {
 // from all d columns per combination as a fresh LocalScoreParts call
 // would. Past the packed/generic crossover the per-process fallback takes
 // over unchanged.
-func enumerateCombos(ctx context.Context, s *Scorer, child int, cands []int, opt Options) []combo {
+//
+// Enumeration can be cut short three ways, reported through the returned
+// reason alongside whatever combinations were listed so far: context
+// cancellation, the node's soft deadline (when nonzero), and the
+// combination budget (when Options.ComboBudget > 0). All three are checked
+// at top-level subtree boundaries, so the budget cut is a deterministic
+// function of the enumeration order, not of timing.
+func enumerateCombos(ctx context.Context, s *Scorer, child int, cands []int, opt Options, deadline time.Time) ([]combo, DegradeReason) {
 	var out []combo
+	reason := DegradeNone
 	maxSize := opt.MaxComboSize
 	if maxSize > len(cands) {
 		maxSize = len(cands)
 	}
 	if maxSize < 1 {
-		return nil
+		return nil, DegradeNone
 	}
 	sc := s.newComboScratch(maxSize)
 	packedLim := sc.packedLimit()
@@ -401,12 +550,22 @@ func enumerateCombos(ctx context.Context, s *Scorer, child int, cands []int, opt
 			return
 		}
 		for k := start; k < len(cands); k++ {
-			// Check cancellation once per top-level subtree: a weak
+			// Check the cut conditions once per top-level subtree: a weak
 			// threshold can make a single node's enumeration combinatorial,
-			// and the per-cell deadline must be able to interrupt it
-			// mid-node.
-			if len(cur) == 0 && ctx.Err() != nil {
-				return
+			// and cancellation, the soft deadline and the combination budget
+			// must all be able to interrupt it mid-node.
+			if len(cur) == 0 {
+				switch {
+				case ctx.Err() != nil:
+					reason = DegradeCancelled
+				case !deadline.IsZero() && time.Now().After(deadline):
+					reason = DegradeDeadline
+				case opt.ComboBudget > 0 && len(out) >= opt.ComboBudget:
+					reason = DegradeComboBudget
+				}
+				if reason != DegradeNone {
+					return
+				}
 			}
 			cur = append(cur, cands[k])
 			if maskable {
@@ -423,7 +582,7 @@ func enumerateCombos(ctx context.Context, s *Scorer, child int, cands []int, opt
 		}
 	}
 	rec(0)
-	return out
+	return out, reason
 }
 
 // adaptiveMerge implements the greedy of Section IV-A's prose: starting
@@ -436,7 +595,11 @@ func enumerateCombos(ctx context.Context, s *Scorer, child int, cands []int, opt
 // heap top is re-evaluated against the grown F. Improvements shrink as F
 // absorbs the signal a combination carries, so stale heads re-sink and the
 // scan touches a small fraction of the combination pool per iteration.
-func adaptiveMerge(ctx context.Context, s *Scorer, child int, combos []combo, opt Options, merges *obs.Counter) []int {
+//
+// When the node's soft deadline (nonzero) passes mid-merge, the loop stops
+// with the parents merged so far and reports cut = true; the caller keeps
+// the partial set as the node's degraded answer.
+func adaptiveMerge(ctx context.Context, s *Scorer, child int, combos []combo, opt Options, merges *obs.Counter, deadline time.Time) (parents []int, cut bool) {
 	st := newMergeState(combos)
 	curScore := s.LocalScore(child, nil)
 	emptyScore := curScore
@@ -450,6 +613,10 @@ func adaptiveMerge(ctx context.Context, s *Scorer, child int, combos []combo, op
 
 	round := 0
 	for h.Len() > 0 && ctx.Err() == nil {
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			cut = true
+			break
+		}
 		top := &h[0]
 		if top.gain <= 0 {
 			break
@@ -489,7 +656,7 @@ func adaptiveMerge(ctx context.Context, s *Scorer, child int, combos []combo, op
 		round++
 	}
 	sort.Ints(st.parents)
-	return st.parents
+	return st.parents, cut
 }
 
 // lazyCombo is a heap entry: a combination with its last-computed score
@@ -516,12 +683,17 @@ func (h *comboHeap) Pop() any {
 
 // staticMerge is Algorithm 1 taken literally: walk combinations in
 // descending standalone score and merge each whose union with F keeps the
-// Theorem-2 bound.
-func staticMerge(s *Scorer, child int, combos []combo, opt Options, merges *obs.Counter) []int {
+// Theorem-2 bound. Like adaptiveMerge it stops at the node's soft deadline
+// with the parents merged so far, reporting cut = true.
+func staticMerge(s *Scorer, child int, combos []combo, opt Options, merges *obs.Counter, deadline time.Time) (parents []int, cut bool) {
 	sorted := append([]combo(nil), combos...)
 	sort.SliceStable(sorted, func(a, b int) bool { return sorted[a].score > sorted[b].score })
 	st := newMergeState(sorted)
 	for i := range sorted {
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			cut = true
+			break
+		}
 		c := &sorted[i]
 		union := st.probeUnion(c)
 		if union == nil {
@@ -535,7 +707,7 @@ func staticMerge(s *Scorer, child int, combos []combo, opt Options, merges *obs.
 		merges.Inc()
 	}
 	sort.Ints(st.parents)
-	return st.parents
+	return st.parents, cut
 }
 
 // mergeState tracks the greedy merges' growing parent set F without

@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"tends/internal/chaos"
 	"tends/internal/graph"
 	"tends/internal/obs"
 	"tends/internal/stats"
@@ -192,6 +193,9 @@ func Simulate(ep *EdgeProbs, cfg Config, rng *rand.Rand) (*Result, error) {
 // diffusion rounds and times the whole run. Results are identical to
 // Simulate's for the same inputs.
 func SimulateContext(ctx context.Context, ep *EdgeProbs, cfg Config, rng *rand.Rand) (*Result, error) {
+	if err := chaos.Maybe(ctx, chaos.SiteSimulate); err != nil {
+		return nil, err
+	}
 	rec := obs.From(ctx)
 	defer rec.StartSpan("diffusion/simulate").End()
 	procC := rec.Counter("diffusion/processes")

@@ -8,10 +8,11 @@ import (
 // Corrupt returns a copy of the status matrix with each cell independently
 // flipped with probability flip — the observation-noise model for studying
 // robustness to unreliable monitoring (false positives from misdiagnosis,
-// false negatives from asymptomatic infections). flip must be in [0, 1).
+// false negatives from asymptomatic infections). flip must be in [0, 1];
+// flip == 1 deterministically inverts every cell.
 func Corrupt(m *StatusMatrix, flip float64, rng *rand.Rand) (*StatusMatrix, error) {
-	if flip < 0 || flip >= 1 {
-		return nil, fmt.Errorf("diffusion: flip probability %v outside [0,1)", flip)
+	if flip < 0 || flip > 1 {
+		return nil, fmt.Errorf("diffusion: flip probability %v outside [0,1]", flip)
 	}
 	out := NewStatusMatrix(m.Beta(), m.N())
 	for p := 0; p < m.Beta(); p++ {

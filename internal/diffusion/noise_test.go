@@ -51,10 +51,32 @@ func TestCorruptZeroIsIdentity(t *testing.T) {
 	}
 }
 
+// flip = 1 is the valid boundary: every cell inverts deterministically.
+func TestCorruptOneInvertsAll(t *testing.T) {
+	m := NewStatusMatrix(10, 5)
+	rng := rand.New(rand.NewSource(1))
+	for p := 0; p < 10; p++ {
+		for v := 0; v < 5; v++ {
+			m.Set(p, v, rng.Intn(2) == 0)
+		}
+	}
+	out, err := Corrupt(m, 1, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatalf("Corrupt(1): %v", err)
+	}
+	for p := 0; p < 10; p++ {
+		for v := 0; v < 5; v++ {
+			if m.Get(p, v) == out.Get(p, v) {
+				t.Fatalf("flip=1 left cell (%d,%d) unchanged", p, v)
+			}
+		}
+	}
+}
+
 func TestCorruptErrors(t *testing.T) {
 	m := NewStatusMatrix(2, 2)
 	rng := rand.New(rand.NewSource(1))
-	for _, flip := range []float64{-0.1, 1, 2} {
+	for _, flip := range []float64{-0.1, 1.0001, 2} {
 		if _, err := Corrupt(m, flip, rng); err == nil {
 			t.Fatalf("Corrupt(%v) should fail", flip)
 		}

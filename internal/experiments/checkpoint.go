@@ -49,6 +49,7 @@ type journalCell struct {
 	RuntimeNS     int64   `json:"runtime_ns"`
 	Completed     int     `json:"completed"`
 	FailedRepeats int     `json:"failed_repeats"`
+	DegradedNodes int     `json:"degraded_nodes,omitempty"`
 	Error         string  `json:"error,omitempty"`
 	// Phase breakdown (see Measurement); omitempty keeps records from runs
 	// without timings compact, and old readers ignore the unknown keys.
@@ -98,6 +99,7 @@ func (j *Journal) Append(pointIndex int, m Measurement) error {
 		RuntimeNS:     int64(m.Runtime),
 		Completed:     m.Completed,
 		FailedRepeats: m.FailedRepeats,
+		DegradedNodes: m.DegradedNodes,
 		WorkloadNS:    int64(m.PhaseWorkload),
 		InferNS:       int64(m.PhaseInfer),
 		MetricsNS:     int64(m.PhaseMetrics),
@@ -189,6 +191,7 @@ func LoadJournal(r io.Reader) (*JournalHeader, map[CellKey]Measurement, []string
 				Runtime:       time.Duration(c.RuntimeNS),
 				Completed:     c.Completed,
 				FailedRepeats: c.FailedRepeats,
+				DegradedNodes: c.DegradedNodes,
 				PhaseWorkload: time.Duration(c.WorkloadNS),
 				PhaseInfer:    time.Duration(c.InferNS),
 				PhaseMetrics:  time.Duration(c.MetricsNS),

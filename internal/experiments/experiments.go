@@ -14,6 +14,7 @@ import (
 	"math/rand"
 	"runtime"
 	"runtime/debug"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -23,6 +24,7 @@ import (
 	"tends/internal/baselines/netinf"
 	"tends/internal/baselines/netrate"
 	"tends/internal/baselines/path"
+	"tends/internal/chaos"
 	"tends/internal/core"
 	"tends/internal/datasets"
 	"tends/internal/diffusion"
@@ -99,6 +101,12 @@ type Measurement struct {
 	Completed     int
 	FailedRepeats int
 	Err           error
+	// DegradedNodes is the total count of gracefully degraded nodes across
+	// the cell's completed repeats (see core.Result.Degraded): nodes whose
+	// parent-set search was cut short by Config.NodeDeadline, ComboBudget,
+	// or cancellation, keeping best-so-far parents. 0 when degradation is
+	// off or never triggered.
+	DegradedNodes int
 	// PhaseWorkload, PhaseInfer and PhaseMetrics break the cell's work into
 	// phases, each the mean across completed repeats (like Runtime, which is
 	// ≈ PhaseInfer + PhaseMetrics). PhaseWorkload is the time spent
@@ -152,6 +160,32 @@ type Config struct {
 	// bytes, or the checkpoint journal's cell identities. A recorder already
 	// attached to the context passed to RunContext is honored the same way.
 	Obs *obs.Recorder
+	// Chaos, when non-nil, arms deterministic fault injection at the sites
+	// wired through the harness and the algorithm libraries (see
+	// internal/chaos). Every injection decision is scoped to a seed-derived
+	// tag, so the fault sequence for a fixed (Seed, injector) pair is
+	// identical at any worker count. Nil means no injection and no overhead.
+	Chaos *chaos.Injector
+	// NodeDeadline and ComboBudget enable graceful degradation inside TENDS
+	// cells (see core.Options): nodes that breach the per-node soft deadline
+	// or the per-node combination budget keep their best-so-far parent sets
+	// instead of failing the cell, and the cell's Measurement reports the
+	// total count in DegradedNodes. A Point's explicit TENDSOptions override
+	// takes precedence when it sets the same knob. Zero disables each.
+	NodeDeadline time.Duration
+	ComboBudget  int
+	// RetryBackoff is the base delay of the exponential backoff between
+	// retry attempts of one task: attempt k waits ~base×2^(k-1) (capped at
+	// base×2⁶) with ±25% seed-derived jitter. 0 retries immediately, as
+	// before. The wait respects run cancellation.
+	RetryBackoff time.Duration
+	// BreakerThreshold arms a per-(point, algorithm) circuit breaker: once
+	// that many tasks of one cell have exhausted every attempt and still
+	// failed, the cell's remaining tasks run their primary attempt but skip
+	// retries — a cell class that is deterministically broken stops burning
+	// retry budget. Trip order follows task completion order, so the breaker
+	// is deterministic at Workers=1 and best-effort above. 0 disables it.
+	BreakerThreshold int
 }
 
 // RunStats summarizes the fault-handling activity of one Run.
@@ -162,6 +196,7 @@ type RunStats struct {
 	CancelledCells int // cells with at least one repeat lost to run cancellation
 	Retried        int // retry attempts executed across all tasks
 	Recovered      int // failed tasks that later succeeded on a retry
+	BreakerSkipped int // retry attempts skipped by a tripped circuit breaker
 }
 
 // sharedWorkload generates a (point, repeat) workload — the network plus
@@ -180,6 +215,10 @@ type sharedWorkload struct {
 // the other cells sharing it).
 func (wl *sharedWorkload) get(ctx context.Context, w Workload, seed int64) (*graph.Directed, *diffusion.Result, error) {
 	wl.once.Do(func() {
+		// Injection decisions inside the workload build draw from a scope
+		// tagged by the workload seed alone: whichever racing cell reaches
+		// the once first, the fault sequence is the same.
+		ctx := chaos.WithScope(ctx, chaos.Tag(seed, "workload"))
 		// A panicking generator must not poison the sync.Once (a panic
 		// marks it done, so every later caller would see nil results with
 		// no error); contain it into the shared error instead.
@@ -213,11 +252,12 @@ type phaseTimes struct {
 
 // repResult is the outcome of one (point, repeat, algorithm) task.
 type repResult struct {
-	prf metrics.PRF
-	dur time.Duration
-	ph  phaseTimes
-	err error
-	ran bool // distinguishes "never claimed" from "ran and succeeded"
+	prf      metrics.PRF
+	dur      time.Duration
+	ph       phaseTimes
+	degraded int // gracefully degraded nodes in this repeat's inference
+	err      error
+	ran      bool // distinguishes "never claimed" from "ran and succeeded"
 }
 
 // runTaskAttempt executes one attempt of a (point, repeat, algorithm) task:
@@ -225,21 +265,33 @@ type repResult struct {
 // then the algorithm under the per-cell deadline, with any panic along the
 // way recovered into the attempt's error. Phase durations are returned even
 // for failed attempts (whatever was measured before the failure) so the
-// recorder's histograms see where failing cells spend their time.
-func runTaskAttempt(ctx context.Context, cfg Config, pt *Point, algo Algorithm, wl *sharedWorkload, seed int64) (prf metrics.PRF, dur time.Duration, ph phaseTimes, err error) {
+// recorder's histograms see where failing cells spend their time. The
+// caller scopes ctx (chaos.WithScope) per attempt.
+func runTaskAttempt(ctx context.Context, cfg Config, pt *Point, algo Algorithm, wl *sharedWorkload, seed int64) (r repResult) {
 	rcd := obs.From(ctx)
 	defer func() {
 		if rec := recover(); rec != nil {
 			rcd.Counter("experiments/panics").Inc()
-			err = fmt.Errorf("panic in %s: %v\n%s", algo, rec, firstStackLines(debug.Stack(), 8))
+			if p, ok := chaos.AsPanic(rec); ok {
+				// Injected panics carry no stack: the dump embeds goroutine
+				// IDs, which would leak scheduling into deterministic output.
+				r.err = fmt.Errorf("panic in %s: %v", algo, p)
+			} else {
+				r.err = fmt.Errorf("panic in %s: %v\n%s", algo, rec, firstStackLines(debug.Stack(), 8))
+			}
 		}
 	}()
 	wlStart := time.Now()
 	g, sim, err := wl.get(ctx, pt.Workload, seed)
-	ph.workload = time.Since(wlStart)
-	rcd.Histogram("experiments/phase/workload").Observe(ph.workload)
+	r.ph.workload = time.Since(wlStart)
+	rcd.Histogram("experiments/phase/workload").Observe(r.ph.workload)
 	if err != nil {
-		return metrics.PRF{}, 0, ph, err
+		r.err = err
+		return r
+	}
+	if err := chaos.Maybe(ctx, chaos.SiteCellInfer); err != nil {
+		r.err = err
+		return r
 	}
 	cellCtx := ctx
 	cancel := func() {}
@@ -247,19 +299,52 @@ func runTaskAttempt(ctx context.Context, cfg Config, pt *Point, algo Algorithm, 
 		cellCtx, cancel = context.WithTimeout(ctx, cfg.CellTimeout)
 	}
 	defer cancel()
-	prf, dur, ph.infer, ph.metrics, err = runAlgo(cellCtx, pt, algo, g, sim)
+	var dur time.Duration
+	r.prf, dur, r.ph.infer, r.ph.metrics, r.degraded, err = runAlgo(cellCtx, cfg, pt, algo, g, sim)
 	if err != nil {
 		// A deadline that fired on the cell context but not the run context
 		// is a per-cell timeout, the signal -cell-timeout tuning needs.
 		if errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
 			rcd.Counter("experiments/timeouts").Inc()
 		}
-		return metrics.PRF{}, 0, ph, err
+		r.prf, r.err = metrics.PRF{}, err
+		return r
 	}
-	rcd.Histogram("experiments/phase/infer").Observe(ph.infer)
-	rcd.Histogram("experiments/phase/metrics").Observe(ph.metrics)
+	if r.degraded > 0 && ctx.Err() != nil {
+		// A result degraded by run-level cancellation is partial work: had
+		// the run not been interrupted the cell would have computed more.
+		// Recording it would checkpoint a measurement a resumed run can
+		// never reproduce, so discard it as a cancelled attempt instead.
+		r.prf, r.err = metrics.PRF{}, fmt.Errorf("degraded by cancellation: %w", ctx.Err())
+		return r
+	}
+	r.dur = dur
+	rcd.Histogram("experiments/phase/infer").Observe(r.ph.infer)
+	rcd.Histogram("experiments/phase/metrics").Observe(r.ph.metrics)
 	rcd.Histogram("experiments/cell").Observe(dur)
-	return prf, dur, ph, nil
+	return r
+}
+
+// appendCheckpoint journals one completed cell behind its chaos site. The
+// injection scope is tagged by the cell's identity alone, so the journal
+// fault sequence is independent of completion order; an injected panic is
+// contained into the returned error (the journal-failure path) instead of
+// unwinding through the worker.
+func appendCheckpoint(ctx context.Context, cfg Config, figID string, pi int, algo string, meas Measurement) (err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			p, ok := chaos.AsPanic(rec)
+			if !ok {
+				panic(rec)
+			}
+			err = fmt.Errorf("%s", p)
+		}
+	}()
+	jctx := chaos.WithScope(ctx, chaos.Tag(cfg.Seed, "journal", figID, algo, strconv.Itoa(pi)))
+	if err := chaos.Maybe(jctx, chaos.SiteCheckpointAppend); err != nil {
+		return err
+	}
+	return cfg.Checkpoint.Append(pi, meas)
 }
 
 // firstStackLines trims a debug.Stack dump to its first n lines — enough to
@@ -302,6 +387,9 @@ func RunContext(ctx context.Context, fig Figure, cfg Config, progress io.Writer)
 	if cfg.Obs != nil {
 		ctx = obs.With(ctx, cfg.Obs)
 	}
+	if cfg.Chaos != nil {
+		ctx = chaos.With(ctx, cfg.Chaos)
+	}
 	rcd := obs.From(ctx)
 	nP, nA, nR := len(fig.Points), len(fig.Algorithms), cfg.Repeats
 	nCells := nP * nA
@@ -316,6 +404,9 @@ func RunContext(ctx context.Context, fig Figure, cfg Config, progress io.Writer)
 	restoredC := rcd.Counter("experiments/cells_restored")
 	retriesC := rcd.Counter("experiments/retries")
 	recoveredC := rcd.Counter("experiments/recovered")
+	attemptsFailedC := rcd.Counter("experiments/attempts_failed")
+	breakerC := rcd.Counter("experiments/breaker_skipped")
+	degradedC := rcd.Counter("experiments/degraded_nodes")
 	taskHist := rcd.Histogram("experiments/task")
 
 	// One lazily generated workload per (point, repeat), shared by every
@@ -333,7 +424,10 @@ func RunContext(ctx context.Context, fig Figure, cfg Config, progress io.Writer)
 
 	emit := &orderedEmitter{progress: progress, figID: fig.ID, ready: make([]bool, nCells), restored: make([]bool, nCells)}
 
-	var retried, recovered atomic.Int64
+	var retried, recovered, breakerSkipped atomic.Int64
+	// breakerTrips counts, per cell, the tasks that exhausted every attempt
+	// and still failed — the circuit breaker's trip signal.
+	breakerTrips := make([]int32, nCells)
 	var journalMu sync.Mutex
 	var journalErr error // first checkpoint-append failure
 
@@ -364,6 +458,7 @@ func RunContext(ctx context.Context, fig Figure, cfg Config, progress io.Writer)
 			wlSum += r.ph.workload
 			infSum += r.ph.infer
 			metSum += r.ph.metrics
+			meas.DegradedNodes += r.degraded
 		}
 		meas.Completed = len(fs)
 		if len(fs) > 0 {
@@ -380,13 +475,16 @@ func RunContext(ctx context.Context, fig Figure, cfg Config, progress io.Writer)
 		}
 		ms[ci] = meas
 		cellsDoneC.Inc()
+		if meas.DegradedNodes > 0 {
+			degradedC.Add(int64(meas.DegradedNodes))
+		}
 		// A cell touched by run-level cancellation is not finished work: it
 		// is never journaled, so a resume re-runs it from scratch.
 		if cancelled {
 			return
 		}
 		if cfg.Checkpoint != nil {
-			if err := cfg.Checkpoint.Append(pi, meas); err != nil {
+			if err := appendCheckpoint(ctx, cfg, fig.ID, pi, string(fig.Algorithms[ai]), meas); err != nil {
 				journalMu.Lock()
 				if journalErr == nil {
 					journalErr = err
@@ -404,21 +502,46 @@ func RunContext(ctx context.Context, fig Figure, cfg Config, progress io.Writer)
 		pi, ai := ci/nA, ci%nA
 		pt := &fig.Points[pi]
 		algo := fig.Algorithms[ai]
+		// Each attempt draws its injection decisions from a scope tagged by
+		// the attempt's own workload seed plus the algorithm (algorithms at
+		// one cell share the seed), so the fault sequence is a function of
+		// (Seed, Chaos) alone — identical at any worker count.
+		noteFail := func(err error) {
+			if err != nil && !errors.Is(err, context.Canceled) {
+				attemptsFailedC.Inc()
+			}
+		}
 		r := &results[ti]
-		r.prf, r.dur, r.ph, r.err = runTaskAttempt(ctx, cfg, pt, algo, &wls[pi*nR+rep], cellSeed(cfg.Seed, pi, rep))
+		seed := cellSeed(cfg.Seed, pi, rep)
+		*r = runTaskAttempt(chaos.WithScope(ctx, chaos.Tag(seed, "attempt", string(algo))), cfg, pt, algo, &wls[pi*nR+rep], seed)
+		noteFail(r.err)
 		// Retries: deterministic because the attempt sequence runs inside
 		// the owning task, each with its own derived seed and fresh
-		// workload. Run-level cancellation is never retried.
+		// workload. Run-level cancellation is never retried, and a tripped
+		// circuit breaker (BreakerThreshold tasks of this cell already
+		// failed all their attempts) stops retrying the cell's class.
 		for attempt := 1; r.err != nil && attempt <= cfg.Retries && ctx.Err() == nil; attempt++ {
+			if cfg.BreakerThreshold > 0 && atomic.LoadInt32(&breakerTrips[ci]) >= int32(cfg.BreakerThreshold) {
+				breakerSkipped.Add(int64(cfg.Retries - attempt + 1))
+				breakerC.Add(int64(cfg.Retries - attempt + 1))
+				break
+			}
+			if !sleepCtx(ctx, backoffDelay(cfg.RetryBackoff, cfg.Seed, pi, rep, attempt)) {
+				break
+			}
 			retried.Add(1)
 			retriesC.Inc()
 			var fresh sharedWorkload
-			prf, dur, ph, err := runTaskAttempt(ctx, cfg, pt, algo, &fresh, retrySeed(cfg.Seed, pi, rep, attempt))
-			r.prf, r.dur, r.ph, r.err = prf, dur, ph, err
-			if err == nil {
+			seed := retrySeed(cfg.Seed, pi, rep, attempt)
+			*r = runTaskAttempt(chaos.WithScope(ctx, chaos.Tag(seed, "attempt", string(algo))), cfg, pt, algo, &fresh, seed)
+			noteFail(r.err)
+			if r.err == nil {
 				recovered.Add(1)
 				recoveredC.Inc()
 			}
+		}
+		if r.err != nil && !errors.Is(r.err, context.Canceled) {
+			atomic.AddInt32(&breakerTrips[ci], 1)
 		}
 		r.ran = true
 		if atomic.AddInt32(&remaining[ci], -1) == 0 {
@@ -513,6 +636,7 @@ func RunContext(ctx context.Context, fig Figure, cfg Config, progress io.Writer)
 
 	rs.Retried = int(retried.Load())
 	rs.Recovered = int(recovered.Load())
+	rs.BreakerSkipped = int(breakerSkipped.Load())
 	for ci := range ms {
 		if ms[ci].Err == nil {
 			continue
@@ -588,31 +712,33 @@ var algoHooks map[Algorithm]func(ctx context.Context, g *graph.Directed, sim *di
 
 // runAlgo times one algorithm on a pre-generated workload, reporting the
 // total alongside its infer/metrics phase split (total ≈ infer + metrics; a
-// few dispatch instructions separate the stamps). The context carries the
-// per-cell deadline and run-level cancellation into the algorithm's
-// iteration loops.
-func runAlgo(ctx context.Context, pt *Point, algo Algorithm, g *graph.Directed, sim *diffusion.Result) (metrics.PRF, time.Duration, time.Duration, time.Duration, error) {
+// few dispatch instructions separate the stamps) and the count of
+// gracefully degraded nodes (TENDS only; always 0 for the baselines). The
+// context carries the per-cell deadline and run-level cancellation into the
+// algorithm's iteration loops.
+func runAlgo(ctx context.Context, cfg Config, pt *Point, algo Algorithm, g *graph.Directed, sim *diffusion.Result) (metrics.PRF, time.Duration, time.Duration, time.Duration, int, error) {
 	start := time.Now()
-	score, err := inferAlgo(ctx, pt, algo, g, sim)
+	score, degraded, err := inferAlgo(ctx, cfg, pt, algo, g, sim)
 	if err != nil {
-		return metrics.PRF{}, 0, time.Since(start), 0, err
+		return metrics.PRF{}, 0, time.Since(start), 0, 0, err
 	}
 	inferDone := time.Now()
 	prf := score()
 	end := time.Now()
-	return prf, end.Sub(start), inferDone.Sub(start), end.Sub(inferDone), nil
+	return prf, end.Sub(start), inferDone.Sub(start), end.Sub(inferDone), degraded, nil
 }
 
 // inferAlgo runs the algorithm-specific inference and returns a closure that
 // scores the inferred topology against the ground truth — the seam between
-// the infer and metrics phases of the cell accounting.
-func inferAlgo(ctx context.Context, pt *Point, algo Algorithm, g *graph.Directed, sim *diffusion.Result) (func() metrics.PRF, error) {
+// the infer and metrics phases of the cell accounting — plus the number of
+// degraded nodes the inference reported.
+func inferAlgo(ctx context.Context, cfg Config, pt *Point, algo Algorithm, g *graph.Directed, sim *diffusion.Result) (func() metrics.PRF, int, error) {
 	if hook, ok := algoHooks[algo]; ok {
 		prf, err := hook(ctx, g, sim)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
-		return func() metrics.PRF { return prf }, nil
+		return func() metrics.PRF { return prf }, 0, nil
 	}
 	switch algo {
 	case AlgoTENDS, AlgoTENDSMI:
@@ -623,55 +749,63 @@ func inferAlgo(ctx context.Context, pt *Point, algo Algorithm, g *graph.Directed
 		if algo == AlgoTENDSMI {
 			opt.TraditionalMI = true
 		}
+		// The run-level degradation knobs apply wherever the point's own
+		// override leaves them unset.
+		if opt.NodeDeadline == 0 {
+			opt.NodeDeadline = cfg.NodeDeadline
+		}
+		if opt.ComboBudget == 0 {
+			opt.ComboBudget = cfg.ComboBudget
+		}
 		res, err := core.InferContext(ctx, sim.Statuses, opt)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
-		return func() metrics.PRF { return metrics.Score(g, res.Graph) }, nil
+		return func() metrics.PRF { return metrics.Score(g, res.Graph) }, len(res.Degraded), nil
 	case AlgoNetRate:
 		preds, err := netrate.InferContext(ctx, sim, netrate.Options{})
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
-		return func() metrics.PRF { prf, _ := metrics.BestF(g, preds); return prf }, nil
+		return func() metrics.PRF { prf, _ := metrics.BestF(g, preds); return prf }, 0, nil
 	case AlgoMulTree:
 		inferred, err := multree.InferContext(ctx, sim, g.NumEdges(), multree.Options{})
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
-		return func() metrics.PRF { return metrics.Score(g, inferred) }, nil
+		return func() metrics.PRF { return metrics.Score(g, inferred) }, 0, nil
 	case AlgoNetInf:
 		inferred, err := netinf.InferContext(ctx, sim, g.NumEdges(), netinf.Options{})
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
-		return func() metrics.PRF { return metrics.Score(g, inferred) }, nil
+		return func() metrics.PRF { return metrics.Score(g, inferred) }, 0, nil
 	case AlgoLIFT:
 		// LIFT is a single pass over the observation matrix with no long
 		// iteration loop; a pre-check keeps cancelled cells from starting it.
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		inferred, err := lift.InferTopMContext(ctx, sim, g.NumEdges(), lift.Options{})
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
-		return func() metrics.PRF { return metrics.Score(g, inferred) }, nil
+		return func() metrics.PRF { return metrics.Score(g, inferred) }, 0, nil
 	case AlgoPATH:
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		traces, err := path.TracesFromCascades(sim, 3)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		inferred, err := path.InferTopM(g.NumNodes(), traces, g.NumEdges())
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
-		return func() metrics.PRF { return metrics.Score(g, inferred) }, nil
+		return func() metrics.PRF { return metrics.Score(g, inferred) }, 0, nil
 	default:
-		return nil, fmt.Errorf("unknown algorithm %q", algo)
+		return nil, 0, fmt.Errorf("unknown algorithm %q", algo)
 	}
 }
 

@@ -113,6 +113,9 @@ func sameMeasurements(t *testing.T, a, b []Measurement) {
 		if x.Completed != y.Completed || x.FailedRepeats != y.FailedRepeats {
 			t.Fatalf("cell %d repeat accounting differs: %+v vs %+v", i, x, y)
 		}
+		if x.DegradedNodes != y.DegradedNodes {
+			t.Fatalf("cell %d degraded nodes differ: %d vs %d", i, x.DegradedNodes, y.DegradedNodes)
+		}
 		if (x.Err == nil) != (y.Err == nil) {
 			t.Fatalf("cell %d error presence differs: %v vs %v", i, x.Err, y.Err)
 		}
