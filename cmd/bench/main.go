@@ -8,6 +8,13 @@
 //	bench -out results.json    # write elsewhere
 //	bench -benchtime 2s        # run each path for ~2s (default 1s)
 //	bench -quick               # single iteration per path (CI smoke)
+//	bench -scale               # IMI scale sweep (n=10³..10⁵) → BENCH_SCALE.json
+//	bench -scale -scale-ns 1000,10000 -scale-dense-max 10000
+//
+// The scale sweep times the sparse candidate engine against the dense
+// pairwise IMI baseline on subcritical LFR diffusion workloads; the dense
+// baseline is skipped above -scale-dense-max (it is O(n²·β) and would take
+// hours at n=10⁵).
 //
 // Each entry records iterations, ns/op, B/op and allocs/op, so successive
 // runs of the same binary on the same machine can be diffed to spot
@@ -54,7 +61,20 @@ func main() {
 	out := flag.String("out", "BENCH_PR4.json", "output JSON path")
 	benchtime := flag.Duration("benchtime", time.Second, "target running time per path")
 	quick := flag.Bool("quick", false, "run each path exactly once (smoke mode)")
+	scale := flag.Bool("scale", false, "run the IMI scale sweep instead, writing -scale-out")
+	scaleOut := flag.String("scale-out", "BENCH_SCALE.json", "scale sweep output JSON path")
+	scaleNs := flag.String("scale-ns", "1000,10000,100000", "comma-separated node counts for the scale sweep")
+	scaleDenseMax := flag.Int("scale-dense-max", 10000, "largest n at which the dense IMI baseline is also timed")
+	scaleBeta := flag.Int("scale-beta", 256, "observations per scale point")
+	scaleSeed := flag.Int64("scale-seed", 1, "workload seed for the scale sweep")
 	flag.Parse()
+	if *scale {
+		if err := runScaleSweep(*scaleOut, *scaleNs, *scaleDenseMax, *scaleBeta, *scaleSeed); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*out, *benchtime, *quick); err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"tends/internal/core"
+	"tends/internal/experiments"
+	"tends/internal/metrics"
+)
+
+// scalePoint is one n of the scale sweep in BENCH_SCALE.json.
+type scalePoint struct {
+	N          int     `json:"n"`
+	WorkloadNS int64   `json:"workload_ns"`
+	DenseIMINS int64   `json:"dense_imi_ns,omitempty"` // omitted when n exceeds -scale-dense-max
+	SparseIMNS int64   `json:"sparse_imi_ns"`
+	IMISpeedup float64 `json:"imi_speedup,omitempty"` // dense/sparse; present when both ran
+	CoPairs    int64   `json:"co_pairs"`
+	TotalPairs int64   `json:"total_pairs"`
+	InferNS    int64   `json:"infer_ns"` // full sparse pipeline, including the pairwise stage
+	Edges      int     `json:"edges"`
+	F          float64 `json:"f"`
+}
+
+// scaleReport is the top-level BENCH_SCALE.json document.
+type scaleReport struct {
+	GoVersion string       `json:"go_version"`
+	GOOS      string       `json:"goos"`
+	GOARCH    string       `json:"goarch"`
+	NumCPU    int          `json:"num_cpu"`
+	Beta      int          `json:"beta"`
+	Seed      int64        `json:"seed"`
+	Points    []scalePoint `json:"points"`
+}
+
+// parseNs parses the comma-separated -scale-ns list.
+func parseNs(spec string) ([]int, error) {
+	var out []int
+	for _, s := range strings.Split(spec, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 2 {
+			return nil, fmt.Errorf("bad -scale-ns entry %q", s)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty -scale-ns list %q", spec)
+	}
+	return out, nil
+}
+
+// runScaleSweep measures the IMI wall across n. Each point runs once: the
+// large points take seconds to minutes, and the dense/sparse ratio they
+// report is far larger than run-to-run noise.
+func runScaleSweep(out, nsSpec string, denseMax, beta int, seed int64) error {
+	ns, err := parseNs(nsSpec)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	rep := scaleReport{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Beta:      beta,
+		Seed:      seed,
+	}
+	for _, n := range ns {
+		fmt.Fprintf(os.Stderr, "scale point n=%d...\n", n)
+		cfg := experiments.ScaleConfig{N: n, Beta: beta, Seed: seed}
+		t0 := time.Now()
+		truth, sm, err := experiments.BuildScaleWorkload(ctx, cfg)
+		if err != nil {
+			return fmt.Errorf("n=%d: %w", n, err)
+		}
+		pt := scalePoint{N: n, WorkloadNS: time.Since(t0).Nanoseconds()}
+
+		t1 := time.Now()
+		sp, err := core.ComputeSparseIMIContext(ctx, sm, false, 0)
+		if err != nil {
+			return fmt.Errorf("n=%d sparse IMI: %w", n, err)
+		}
+		pt.SparseIMNS = time.Since(t1).Nanoseconds()
+		pt.CoPairs = sp.CoPairs()
+		pt.TotalPairs = sp.TotalPairs()
+
+		if n <= denseMax {
+			t2 := time.Now()
+			core.ComputeIMIWorkers(sm, false, 0)
+			pt.DenseIMINS = time.Since(t2).Nanoseconds()
+			pt.IMISpeedup = float64(pt.DenseIMINS) / float64(pt.SparseIMNS)
+		} else {
+			fmt.Fprintf(os.Stderr, "  skipping dense IMI (n > %d)\n", denseMax)
+		}
+
+		t3 := time.Now()
+		res, err := core.InferContext(ctx, sm, core.Options{Sparse: true})
+		if err != nil {
+			return fmt.Errorf("n=%d infer: %w", n, err)
+		}
+		pt.InferNS = time.Since(t3).Nanoseconds()
+		pt.Edges = res.Graph.NumEdges()
+		pt.F = metrics.Score(truth, res.Graph).F
+		rep.Points = append(rep.Points, pt)
+		fmt.Fprintf(os.Stderr, "  workload=%v sparse_imi=%v dense_imi=%v co_pairs=%d/%d infer=%v F=%.3f\n",
+			time.Duration(pt.WorkloadNS).Round(time.Millisecond),
+			time.Duration(pt.SparseIMNS).Round(time.Millisecond),
+			time.Duration(pt.DenseIMINS).Round(time.Millisecond),
+			pt.CoPairs, pt.TotalPairs,
+			time.Duration(pt.InferNS).Round(time.Millisecond), pt.F)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d points)\n", out, len(rep.Points))
+	return nil
+}

@@ -19,6 +19,18 @@
 //	benchfig -fig 1 -node-deadline 50ms -combo-budget 5000   # degrade, don't hang
 //	benchfig -fig 1 -retries 3 -retry-backoff 100ms -breaker 2
 //
+// Scale-study mode (large-n LFR, sparse engine, optional sharding):
+//
+//	benchfig -scale -scale-n 100000 -sparse           # one big run end to end
+//	benchfig -scale -scale-n 100000 -sparse -shard 0/4 -checkpoint s0.jsonl
+//	benchfig -scale -scale-n 100000 -sparse -shard 1/4 -checkpoint s1.jsonl  # ... one process per shard
+//	benchfig -scale -scale-n 100000 -sparse -merge s0.jsonl,s1.jsonl,s2.jsonl,s3.jsonl
+//
+// Every shard regenerates the identical workload from -seed and computes the
+// identical global threshold, so the merged topology is byte-identical to an
+// unsharded run; the merge cross-checks headers and refuses mismatched or
+// truncated journals.
+//
 // Each (point, repeat) workload is generated once and shared by every
 // compared algorithm; -workers bounds how many (point, repeat, algorithm)
 // cells run concurrently (0 = all CPUs). Results for a fixed -seed are
@@ -116,7 +128,22 @@ func main() {
 	flag.IntVar(&o.comboBudget, "combo-budget", 0, "cap on parent combinations scored per TENDS node; breaching nodes degrade (0 = none)")
 	flag.DurationVar(&o.retryBackoff, "retry-backoff", 0, "base delay before cell retries, doubled per attempt with seeded jitter (0 = immediate)")
 	flag.IntVar(&o.breaker, "breaker", 0, "stop retrying a (point, algorithm) cell class after this many tasks exhaust every attempt (0 = never)")
+	var s scaleOpts
+	registerScaleFlags(&s)
 	flag.Parse()
+
+	if s.run || s.shardSpec != "" || s.mergeSpec != "" {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		code, err := runScale(ctx, o, s)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchfig: %v\n", err)
+			if code == exitOK {
+				code = exitErr
+			}
+		}
+		os.Exit(code)
+	}
 
 	if *ablation != "" {
 		if err := runAblation(*ablation, o.seed); err != nil {

@@ -1,0 +1,179 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"tends/internal/experiments"
+	"tends/internal/obs"
+)
+
+// scaleOpts carries the flag values of benchfig's scale-study mode, which
+// runs one large-n LFR point end to end instead of regenerating a figure.
+// The workload is derived deterministically from -seed, so independent
+// processes can each run one shard (-shard i/k) and their journals merge
+// (-merge) into the same topology an unsharded run would produce.
+type scaleOpts struct {
+	run       bool
+	n         int
+	beta      int
+	deg       float64
+	exp       float64
+	mixing    float64
+	seeds     int
+	mu        float64
+	sparse    bool
+	shardSpec string
+	mergeSpec string
+}
+
+func registerScaleFlags(s *scaleOpts) {
+	flag.BoolVar(&s.run, "scale", false, "run the large-n scale study instead of a figure")
+	flag.IntVar(&s.n, "scale-n", 10000, "scale study: number of nodes")
+	flag.IntVar(&s.beta, "scale-beta", 256, "scale study: diffusion processes (observations)")
+	flag.Float64Var(&s.deg, "scale-deg", 10, "scale study: LFR average degree")
+	flag.Float64Var(&s.exp, "scale-exp", 2, "scale study: LFR degree power-law exponent")
+	flag.Float64Var(&s.mixing, "scale-mixing", 0.1, "scale study: LFR mixing parameter")
+	flag.IntVar(&s.seeds, "scale-seeds", 10, "scale study: seed infections per diffusion process")
+	flag.Float64Var(&s.mu, "scale-mu", 0.08, "scale study: mean per-edge propagation probability (subcritical keeps co-pairs sparse)")
+	flag.BoolVar(&s.sparse, "sparse", false, "use the sparse candidate engine (bit-identical results, sub-quadratic pairwise stage)")
+	flag.StringVar(&s.shardSpec, "shard", "", `run one shard of the scale study, e.g. "0/4"; requires -checkpoint for the shard journal`)
+	flag.StringVar(&s.mergeSpec, "merge", "", "comma-separated shard journals to merge into the final topology")
+}
+
+// parseShardSpec parses "i/k" into (index, count).
+func parseShardSpec(spec string) (int, int, error) {
+	var idx, count int
+	if n, err := fmt.Sscanf(spec, "%d/%d", &idx, &count); n != 2 || err != nil {
+		return 0, 0, fmt.Errorf("usage: -shard wants i/k, got %q", spec)
+	}
+	if count < 1 || idx < 0 || idx >= count {
+		return 0, 0, fmt.Errorf("usage: -shard %q out of range (want 0 <= i < k)", spec)
+	}
+	return idx, count, nil
+}
+
+func (s *scaleOpts) config(o runOpts) experiments.ScaleConfig {
+	return experiments.ScaleConfig{
+		N:         s.n,
+		Beta:      s.beta,
+		AvgDegree: s.deg,
+		DegreeExp: s.exp,
+		Mixing:    s.mixing,
+		Seeds:     s.seeds,
+		EdgeProb:  s.mu,
+		Seed:      o.seed,
+		Workers:   o.workers,
+		Sparse:    s.sparse,
+	}
+}
+
+// runScale executes the scale study in one of three modes: a full run, one
+// shard of k (journaled to -checkpoint), or a merge of shard journals.
+func runScale(ctx context.Context, o runOpts, s scaleOpts) (int, error) {
+	cfg := s.config(o)
+	var rec *obs.Recorder
+	if o.obsJSON != "" {
+		rec = obs.New()
+		cfg.Obs = rec
+	}
+	writeObs := func() error {
+		if o.obsJSON == "" {
+			return nil
+		}
+		f, err := os.Create(o.obsJSON)
+		if err != nil {
+			return err
+		}
+		if err := rec.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+
+	switch {
+	case s.mergeSpec != "":
+		var headers []*experiments.ShardHeader
+		var nodes []map[int][]int
+		for _, path := range strings.Split(s.mergeSpec, ",") {
+			path = strings.TrimSpace(path)
+			if path == "" {
+				continue
+			}
+			f, err := os.Open(path)
+			if err != nil {
+				return exitErr, err
+			}
+			h, ns, err := experiments.LoadShardJournal(f)
+			f.Close()
+			if err != nil {
+				return exitErr, fmt.Errorf("%s: %w", path, err)
+			}
+			headers = append(headers, h)
+			nodes = append(nodes, ns)
+		}
+		merged, err := experiments.MergeScaleShards(ctx, cfg, headers, nodes)
+		if err != nil {
+			return exitErr, err
+		}
+		fmt.Printf("scale merge: n=%d shards=%d threshold=%.6g edges=%d\n",
+			cfg.N, len(headers), merged.Threshold, merged.Graph.NumEdges())
+		fmt.Printf("P=%.4f R=%.4f F=%.4f\n", merged.Score.Precision, merged.Score.Recall, merged.Score.F)
+		return exitOK, writeObs()
+
+	case s.shardSpec != "":
+		idx, count, err := parseShardSpec(s.shardSpec)
+		if err != nil {
+			return exitErr, err
+		}
+		if o.checkpoint == "" {
+			return exitErr, fmt.Errorf("usage: -shard requires -checkpoint for the shard journal")
+		}
+		cfg.ShardIndex, cfg.ShardCount = idx, count
+		res, err := experiments.RunScale(ctx, cfg)
+		if err != nil {
+			return exitErr, err
+		}
+		hdr, err := experiments.ShardHeaderFor(cfg, res)
+		if err != nil {
+			return exitErr, err
+		}
+		f, err := os.Create(o.checkpoint)
+		if err != nil {
+			return exitErr, err
+		}
+		j, err := experiments.NewShardJournal(f, hdr)
+		if err != nil {
+			f.Close()
+			return exitErr, err
+		}
+		if err := experiments.WriteShardJournal(j, cfg, res); err != nil {
+			f.Close()
+			return exitErr, err
+		}
+		if err := f.Close(); err != nil {
+			return exitErr, err
+		}
+		fmt.Printf("scale shard %d/%d: n=%d sparse=%v threshold=%.6g workload=%v infer=%v journal=%s\n",
+			idx, count, cfg.N, cfg.Sparse, res.Inference.Threshold,
+			res.WorkloadDur.Round(time.Millisecond), res.InferDur.Round(time.Millisecond), o.checkpoint)
+		return exitOK, writeObs()
+
+	default:
+		res, err := experiments.RunScale(ctx, cfg)
+		if err != nil {
+			return exitErr, err
+		}
+		fmt.Printf("scale run: n=%d beta=%d sparse=%v threshold=%.6g edges=%d\n",
+			cfg.N, cfg.Beta, cfg.Sparse, res.Inference.Threshold, res.Inference.Graph.NumEdges())
+		fmt.Printf("P=%.4f R=%.4f F=%.4f workload=%v infer=%v\n",
+			res.Score.Precision, res.Score.Recall, res.Score.F,
+			res.WorkloadDur.Round(time.Millisecond), res.InferDur.Round(time.Millisecond))
+		return exitOK, writeObs()
+	}
+}

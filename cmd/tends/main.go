@@ -4,7 +4,12 @@
 // Usage:
 //
 //	tends -in statuses.txt [-out graph.txt] [-combo 2] [-scale 1.0]
-//	      [-threshold t] [-mi] [-workers n] [-verbose]
+//	      [-threshold t] [-mi] [-sparse] [-workers n] [-verbose]
+//
+// -sparse switches the pairwise stage to the sparse candidate engine: only
+// node pairs that co-occur in at least one cascade are enumerated, which is
+// sub-quadratic on sparse diffusion data. The inferred topology is
+// bit-identical to the dense engine's.
 //
 // -workers bounds the goroutines used by the IMI stage and the per-node
 // parent-set searches (0 = all CPUs, 1 = serial); the inferred topology is
@@ -47,6 +52,7 @@ func main() {
 		scale     = flag.Float64("scale", 0, "threshold scale relative to auto tau (default 1)")
 		threshold = flag.Float64("threshold", -1, "absolute IMI threshold; overrides -scale when >= 0")
 		useMI     = flag.Bool("mi", false, "use traditional MI instead of infection MI")
+		sparse    = flag.Bool("sparse", false, "use the sparse candidate engine (identical output, sub-quadratic pairwise stage)")
 		probsPath = flag.String("probs", "", "also estimate per-edge propagation probabilities into this file")
 		workers   = flag.Int("workers", 0, "parallel search workers (0 = all CPUs)")
 		verbose   = flag.Bool("verbose", false, "print threshold and score diagnostics to stderr")
@@ -86,7 +92,7 @@ func main() {
 		rec = obs.New()
 		ctx = obs.With(ctx, rec)
 	}
-	err := run(ctx, *inPath, *outPath, *combo, *scale, *threshold, *useMI, *verbose, *workers)
+	err := run(ctx, *inPath, *outPath, *combo, *scale, *threshold, *useMI, *sparse, *verbose, *workers)
 	if *obsJSON != "" {
 		if oerr := writeObsJSON(*obsJSON, rec); oerr != nil {
 			fmt.Fprintf(os.Stderr, "tends: %v\n", oerr)
@@ -161,7 +167,7 @@ func estimateProbs(inPath, graphPath, probsPath string) error {
 	return out.Close()
 }
 
-func run(ctx context.Context, inPath, outPath string, combo int, scale, threshold float64, useMI, verbose bool, workers int) error {
+func run(ctx context.Context, inPath, outPath string, combo int, scale, threshold float64, useMI, sparse, verbose bool, workers int) error {
 	f, err := os.Open(inPath)
 	if err != nil {
 		return err
@@ -176,6 +182,7 @@ func run(ctx context.Context, inPath, outPath string, combo int, scale, threshol
 		MaxComboSize:   combo,
 		ThresholdScale: scale,
 		TraditionalMI:  useMI,
+		Sparse:         sparse,
 		Workers:        workers,
 	}
 	if threshold >= 0 {

@@ -3,15 +3,13 @@ package core
 import (
 	"context"
 	"math"
-	"math/bits"
 	"runtime"
-	"sort"
 	"sync"
 	"sync/atomic"
 
 	"tends/internal/diffusion"
+	"tends/internal/kernel"
 	"tends/internal/obs"
-	"tends/internal/stats"
 )
 
 // IMIMatrix holds the pairwise infection mutual information (Eq. 25) — or,
@@ -49,6 +47,29 @@ func (m *IMIMatrix) PairValues() []float64 {
 	return out
 }
 
+// VisitPairValues streams every unordered pairwise value (multiplicity 1)
+// without materializing a copy of the triangle; it is how the threshold
+// selectors consume the matrix.
+func (m *IMIMatrix) VisitPairValues(visit func(v float64, count int64)) {
+	for _, v := range m.vals {
+		visit(v, 1)
+	}
+}
+
+func (m *IMIMatrix) valuePool() *valuePool { return poolFrom(m) }
+
+// nodePool summarizes the values involving node i for the per-node
+// threshold selector.
+func (m *IMIMatrix) nodePool(i int) *valuePool {
+	var b poolBuilder
+	for j := 0; j < m.n; j++ {
+		if j != i {
+			b.add(m.vals[triIndex(m.n, i, j)], 1)
+		}
+	}
+	return b.finish()
+}
+
 // ComputeIMI builds the pairwise infection-MI matrix from observations. If
 // traditional is true it computes plain mutual information instead, the
 // ablation of Figs. 10–11. It uses every CPU; ComputeIMIWorkers takes an
@@ -67,11 +88,16 @@ func ComputeIMIWorkers(sm *diffusion.StatusMatrix, traditional bool, workers int
 	return m
 }
 
+// imiRowBlock is the dense kernel's tile height: the number of contiguous
+// base columns held hot while a probe column streams past. Eight 8-word
+// columns fit comfortably in L1 alongside the probe.
+const imiRowBlock = 8
+
 // ComputeIMIContext is ComputeIMIWorkers with cooperative cancellation: the
-// O(n²) pairwise stage checks ctx between rows and abandons the computation
-// — returning ctx's error and no matrix — once the context is done. It is
-// the hook the experiment harness uses to impose per-cell deadlines on
-// TENDS runs.
+// O(n²) pairwise stage checks ctx between row blocks and abandons the
+// computation — returning ctx's error and no matrix — once the context is
+// done. It is the hook the experiment harness uses to impose per-cell
+// deadlines on TENDS runs.
 func ComputeIMIContext(ctx context.Context, sm *diffusion.StatusMatrix, traditional bool, workers int) (*IMIMatrix, error) {
 	// Telemetry handles are resolved once up front; on a recorder-less
 	// context they are nil and every update below is an allocation-free
@@ -80,12 +106,15 @@ func ComputeIMIContext(ctx context.Context, sm *diffusion.StatusMatrix, traditio
 	defer rec.StartSpan("core/imi").End()
 	rowsC := rec.Counter("core/imi/rows")
 	pairsC := rec.Counter("core/imi/pairs")
+	tilesC := rec.Counter("core/kernel/tiles")
 	n := sm.N()
 	m := &IMIMatrix{n: n, vals: make([]float64, n*(n-1)/2)}
 	if n < 2 {
 		return m, ctx.Err()
 	}
 	beta := sm.Beta()
+	words := sm.Words()
+	data := sm.ColumnData()
 	// Per-node infected counts, computed once up front: building each
 	// pair's contingency table through JointCounts would rescan both full
 	// columns per pair — O(n²) popcount passes — when only the n11 AND
@@ -95,60 +124,71 @@ func ComputeIMIContext(ctx context.Context, sm *diffusion.StatusMatrix, traditio
 		ones[i] = sm.CountInfected(i)
 	}
 	mt := cachedMITable(beta)
-	fillRow := func(i int) {
-		ca := sm.Column(i)
-		base := i * (2*n - i - 1) / 2
-		ni := ones[i]
-		for j := i + 1; j < n; j++ {
-			cb := sm.Column(j)
-			n11 := 0
-			for w := range ca {
-				n11 += bits.OnesCount64(ca[w] & cb[w])
-			}
-			nj := ones[j]
-			c11 := mt.cell(n11, ni, nj)
-			c00 := mt.cell(beta-ni-nj+n11, beta-ni, beta-nj)
-			c10 := mt.cell(ni-n11, ni, beta-nj)
-			c01 := mt.cell(nj-n11, beta-ni, nj)
-			if traditional {
-				m.vals[base+j-i-1] = c11 + c00 + c10 + c01
-			} else {
-				m.vals[base+j-i-1] = c11 + c00 - math.Abs(c10) - math.Abs(c01)
-			}
+	// Rows are processed in blocks of imiRowBlock contiguous base columns;
+	// each probe column j is ANDed against the whole tile in one kernel
+	// call, so the probe's words are read once per tile instead of once per
+	// pair. Values are bit-identical to the per-pair walk: n11 is an exact
+	// integer either way and the cell arithmetic is unchanged.
+	nBlocks := (n - 1 + imiRowBlock - 1) / imiRowBlock
+	fillBlock := func(b int, cnt *[imiRowBlock]int) {
+		i0 := b * imiRowBlock
+		i1 := i0 + imiRowBlock
+		if i1 > n-1 {
+			i1 = n - 1
 		}
-		rowsC.Inc()
-		pairsC.Add(int64(n - 1 - i))
+		bases := data[i0*words : i1*words]
+		var pairs int64
+		for j := i0 + 1; j < n; j++ {
+			lim := i1
+			if j < lim {
+				lim = j
+			}
+			nb := lim - i0
+			probe := data[j*words : (j+1)*words]
+			kernel.BlockAndCounts(cnt[:nb], bases[:nb*words], probe, words)
+			tilesC.Inc()
+			nj := ones[j]
+			for r := 0; r < nb; r++ {
+				i := i0 + r
+				m.vals[i*(2*n-i-1)/2+j-i-1] = pairValue(mt, traditional, beta, cnt[r], ones[i], nj)
+			}
+			pairs += int64(nb)
+		}
+		rowsC.Add(int64(i1 - i0))
+		pairsC.Add(pairs)
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > n-1 {
-		workers = n - 1
+	if workers > nBlocks {
+		workers = nBlocks
 	}
 	if workers <= 1 {
-		for i := 0; i < n-1; i++ {
+		var cnt [imiRowBlock]int
+		for b := 0; b < nBlocks; b++ {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			fillRow(i)
+			fillBlock(b, &cnt)
 		}
 		return m, nil
 	}
-	// Workers claim rows off a shared counter; rows shrink as i grows, so
-	// dynamic claiming balances the triangular workload better than fixed
-	// blocks. Each worker writes disjoint slots of m.vals.
+	// Workers claim row blocks off a shared counter; blocks shrink as i
+	// grows, so dynamic claiming balances the triangular workload better
+	// than fixed partitions. Each worker writes disjoint slots of m.vals.
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var cnt [imiRowBlock]int
 			for ctx.Err() == nil {
-				i := int(next.Add(1)) - 1
-				if i >= n-1 {
+				b := int(next.Add(1)) - 1
+				if b >= nBlocks {
 					return
 				}
-				fillRow(i)
+				fillBlock(b, &cnt)
 			}
 		}()
 	}
@@ -159,14 +199,38 @@ func ComputeIMIContext(ctx context.Context, sm *diffusion.StatusMatrix, traditio
 	return m, nil
 }
 
+// pairValue computes one pair's value — infection MI (Eq. 25) or, in the
+// ablation mode, plain MI — from its contingency counts. Both the dense and
+// sparse engines route every value through this single expression, so their
+// floating-point results are identical by construction. The marginals are
+// canonicalized to ni ≤ nj first: float subtraction order makes the raw
+// expression orientation-sensitive at the ulp level, and callers reach the
+// same unordered pair from either side (dense row-major, sparse
+// neighbor-row, marginal count-class runs).
+func pairValue(mt *miTable, traditional bool, beta, n11, ni, nj int) float64 {
+	if ni > nj {
+		ni, nj = nj, ni
+	}
+	c11 := mt.cell(n11, ni, nj)
+	c00 := mt.cell(beta-ni-nj+n11, beta-ni, beta-nj)
+	c10 := mt.cell(ni-n11, ni, beta-nj)
+	c01 := mt.cell(nj-n11, beta-ni, nj)
+	if traditional {
+		return c11 + c00 + c10 + c01
+	}
+	return c11 + c00 - math.Abs(c10) - math.Abs(c01)
+}
+
 // twoMeansMaxIter bounds the modified K-means iterations of the threshold
 // selectors (convergence is immediate in practice; see stats.TwoMeansThreshold).
 const twoMeansMaxIter = 100
 
 // SelectThreshold runs the modified K-means of Section IV-B over the
-// non-negative pairwise values and returns the pruning threshold τ.
+// non-negative pairwise values and returns the pruning threshold τ. The
+// values are consumed as a run-length pool (see valuePool), not a second
+// materialized triangle.
 func SelectThreshold(m *IMIMatrix) float64 {
-	return stats.TwoMeansThreshold(m.PairValues(), twoMeansMaxIter)
+	return m.valuePool().twoMeansTau()
 }
 
 // SelectNodeThreshold runs the same modified K-means over only the values
@@ -176,13 +240,7 @@ func SelectThreshold(m *IMIMatrix) float64 {
 // shoulder; the per-node pool keeps the near-zero and significant clusters
 // separable, at the cost of n small K-means runs instead of one big one.
 func SelectNodeThreshold(m *IMIMatrix, i int) float64 {
-	values := make([]float64, 0, m.n-1)
-	for j := 0; j < m.n; j++ {
-		if j != i {
-			values = append(values, m.At(i, j))
-		}
-	}
-	return stats.TwoMeansThreshold(values, 100)
+	return m.nodePool(i).twoMeansTau()
 }
 
 // SelectThresholdFDR picks the pruning threshold by false-discovery-rate
@@ -204,43 +262,7 @@ func SelectNodeThreshold(m *IMIMatrix, i int) float64 {
 // library default; the paper's K-means selection remains available via
 // Options.ThresholdMethod.
 func SelectThresholdFDR(m *IMIMatrix, beta int, alpha float64) float64 {
-	vals := m.PairValues()
-	sort.Float64s(vals)
-	return selectThresholdFDRSorted(vals, beta, alpha)
-}
-
-// selectThresholdFDRSorted is SelectThresholdFDR over an already-sorted
-// value slice, letting ThresholdAuto share one PairValues copy between the
-// K-means and FDR selectors instead of materializing the O(n²) values twice.
-func selectThresholdFDRSorted(vals []float64, beta int, alpha float64) float64 {
-	if alpha <= 0 || alpha >= 1 {
-		panic("core: FDR alpha must be in (0,1)")
-	}
-	// Walk from the largest value (smallest p) downward; BH accepts the
-	// largest k with p_(k) ≤ alpha·k/M.
-	mTests := float64(len(vals))
-	factor := 2 * math.Ln2 * float64(beta)
-	accepted := -1
-	for k := 1; k <= len(vals); k++ {
-		v := vals[len(vals)-k]
-		if v <= 0 {
-			break // remaining values have p = 1 and can never qualify
-		}
-		p := chiSquared1Tail(factor * v)
-		if p <= alpha*float64(k)/mTests {
-			accepted = k
-		}
-	}
-	if accepted < 0 {
-		if len(vals) == 0 {
-			return 0
-		}
-		return vals[len(vals)-1] + 1 // above the maximum: prune everything
-	}
-	tau := vals[len(vals)-accepted]
-	// Candidates are admitted by value > τ, so back off an epsilon to keep
-	// the boundary value itself.
-	return tau * (1 - 1e-12)
+	return m.valuePool().fdrTau(beta, alpha)
 }
 
 // miTable evaluates the pointwise mutual-information cells of Eq. (24)

@@ -1,0 +1,354 @@
+package core
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"tends/internal/diffusion"
+	"tends/internal/obs"
+)
+
+// sparseRandomStatus builds a β×n matrix where each cell is infected with
+// probability density — the workload family for the dense/sparse parity
+// property tests.
+func sparseRandomStatus(n, beta int, density float64, seed int64) *diffusion.StatusMatrix {
+	rng := rand.New(rand.NewSource(seed))
+	sm := diffusion.NewStatusMatrix(beta, n)
+	for p := 0; p < beta; p++ {
+		for v := 0; v < n; v++ {
+			if rng.Float64() < density {
+				sm.Set(p, v, true)
+			}
+		}
+	}
+	return sm
+}
+
+// TestSparseDenseValuesBitIdentical checks At agreement on EVERY pair (not
+// just co-occurring ones) across random shapes, densities, both MI modes,
+// and worker counts — the tentpole's bit-identity contract.
+func TestSparseDenseValuesBitIdentical(t *testing.T) {
+	cases := []struct {
+		n, beta int
+		density float64
+	}{
+		{12, 7, 0.05},
+		{25, 40, 0.15},
+		{40, 64, 0.3},
+		{17, 130, 0.5},
+		{30, 96, 0.02}, // very sparse: most pairs never co-occur
+		{8, 16, 0.9},   // saturated: almost everything co-occurs
+	}
+	for ci, tc := range cases {
+		for _, traditional := range []bool{false, true} {
+			for _, workers := range []int{1, 4} {
+				sm := sparseRandomStatus(tc.n, tc.beta, tc.density, int64(100+ci))
+				dense := ComputeIMIWorkers(sm, traditional, workers)
+				sp, err := ComputeSparseIMIContext(context.Background(), sm, traditional, workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := 0; i < tc.n; i++ {
+					for j := 0; j < tc.n; j++ {
+						if i == j {
+							continue
+						}
+						dv, sv := dense.At(i, j), sp.At(i, j)
+						if dv != sv && !(math.IsNaN(dv) && math.IsNaN(sv)) {
+							t.Fatalf("case %d (trad=%v workers=%d): At(%d,%d) dense=%v sparse=%v",
+								ci, traditional, workers, i, j, dv, sv)
+						}
+					}
+				}
+				if got, want := sp.PairValues(), dense.PairValues(); len(got) == len(want) {
+					for k := range got {
+						if got[k] != want[k] {
+							t.Fatalf("case %d: PairValues[%d] sparse=%v dense=%v", ci, k, got[k], want[k])
+						}
+					}
+				} else {
+					t.Fatalf("case %d: PairValues lengths %d vs %d", ci, len(got), len(want))
+				}
+			}
+		}
+	}
+}
+
+func equalIntSlices(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSparseDenseCandidatesAndPools checks that the τ-selected candidate
+// sets agree at the auto-selected thresholds and a spread of fixed ones
+// (including negative, which exercises the sparse marginal-class path), and
+// that the two engines reduce to bit-identical value pools.
+func TestSparseDenseCandidatesAndPools(t *testing.T) {
+	for ci, tc := range []struct {
+		n, beta int
+		density float64
+	}{
+		{20, 30, 0.1},
+		{35, 50, 0.25},
+		{15, 80, 0.04},
+	} {
+		for _, traditional := range []bool{false, true} {
+			sm := sparseRandomStatus(tc.n, tc.beta, tc.density, int64(200+ci))
+			dense := ComputeIMIWorkers(sm, traditional, 2)
+			sp := ComputeSparseIMI(sm, traditional)
+
+			dp, spp := dense.valuePool(), sp.valuePool()
+			if dp.total != spp.total || dp.zeros != spp.zeros || dp.maxAll != spp.maxAll {
+				t.Fatalf("case %d trad=%v: pool scalars differ: dense{total=%d zeros=%d max=%v} sparse{total=%d zeros=%d max=%v}",
+					ci, traditional, dp.total, dp.zeros, dp.maxAll, spp.total, spp.zeros, spp.maxAll)
+			}
+			if len(dp.pos) != len(spp.pos) {
+				t.Fatalf("case %d trad=%v: pool run counts differ: %d vs %d", ci, traditional, len(dp.pos), len(spp.pos))
+			}
+			for r := range dp.pos {
+				if dp.pos[r] != spp.pos[r] || dp.posCnt[r] != spp.posCnt[r] {
+					t.Fatalf("case %d trad=%v: pool run %d differs: (%v,%d) vs (%v,%d)",
+						ci, traditional, r, dp.pos[r], dp.posCnt[r], spp.pos[r], spp.posCnt[r])
+				}
+			}
+
+			taus := []float64{
+				dp.twoMeansTau(),
+				dp.fdrTau(tc.beta, 0.2),
+				0, 0.001, -0.05, -1, 0.5,
+			}
+			for _, tau := range taus {
+				for i := 0; i < tc.n; i++ {
+					dc := dense.Candidates(i, tau)
+					sc := sp.Candidates(i, tau)
+					if !equalIntSlices(dc, sc) {
+						t.Fatalf("case %d trad=%v: Candidates(%d, %v) dense=%v sparse=%v",
+							ci, traditional, i, tau, dc, sc)
+					}
+				}
+			}
+
+			for i := 0; i < tc.n; i++ {
+				if d, s := dense.nodePool(i).twoMeansTau(), sp.nodePool(i).twoMeansTau(); d != s {
+					t.Fatalf("case %d trad=%v: node %d per-node tau dense=%v sparse=%v", ci, traditional, i, d, s)
+				}
+			}
+		}
+	}
+}
+
+// TestSparseDenseInferIdentical runs the full pipeline both ways across
+// threshold methods and worker counts and requires identical graphs,
+// thresholds, and scores.
+func TestSparseDenseInferIdentical(t *testing.T) {
+	sm := sparseRandomStatus(30, 60, 0.12, 42)
+	methods := []ThresholdMethod{ThresholdAuto, ThresholdKMeans, ThresholdKMeansPerNode, ThresholdFDR}
+	for _, method := range methods {
+		for _, workers := range []int{1, 4} {
+			base := Options{ThresholdMethod: method, Workers: workers}
+			sparse := base
+			sparse.Sparse = true
+			dr, err := Infer(sm, base)
+			if err != nil {
+				t.Fatalf("dense method=%d: %v", method, err)
+			}
+			sr, err := Infer(sm, sparse)
+			if err != nil {
+				t.Fatalf("sparse method=%d: %v", method, err)
+			}
+			if !dr.Graph.Equal(sr.Graph) {
+				t.Fatalf("method=%d workers=%d: graphs differ", method, workers)
+			}
+			if dr.Threshold != sr.Threshold || dr.AutoTau != sr.AutoTau {
+				t.Fatalf("method=%d: thresholds differ: dense (%v,%v) sparse (%v,%v)",
+					method, dr.Threshold, dr.AutoTau, sr.Threshold, sr.AutoTau)
+			}
+			if dr.Score != sr.Score {
+				t.Fatalf("method=%d: scores differ: %v vs %v", method, dr.Score, sr.Score)
+			}
+		}
+	}
+}
+
+// TestSparseShardMergeIdentical splits the search across k shards and
+// checks the union of parent sets reproduces the unsharded topology for
+// k ∈ {1, 2, 4}, dense and sparse.
+func TestSparseShardMergeIdentical(t *testing.T) {
+	sm := sparseRandomStatus(26, 48, 0.15, 7)
+	for _, sparse := range []bool{false, true} {
+		full, err := Infer(sm, Options{Sparse: sparse})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range []int{1, 2, 4} {
+			merged := make([][]int, sm.N())
+			for shard := 0; shard < k; shard++ {
+				res, err := Infer(sm, Options{Sparse: sparse, ShardIndex: shard, ShardCount: k})
+				if err != nil {
+					t.Fatalf("shard %d/%d: %v", shard, k, err)
+				}
+				if res.Threshold != full.Threshold {
+					t.Fatalf("shard %d/%d: threshold %v != %v", shard, k, res.Threshold, full.Threshold)
+				}
+				for i, parents := range res.Parents {
+					if i%k != shard {
+						if len(parents) != 0 {
+							t.Fatalf("shard %d/%d: node %d outside shard has parents %v", shard, k, i, parents)
+						}
+						continue
+					}
+					merged[i] = parents
+				}
+			}
+			for i := range merged {
+				if !equalIntSlices(merged[i], full.Parents[i]) {
+					t.Fatalf("sparse=%v k=%d: node %d parents %v != %v", sparse, k, i, merged[i], full.Parents[i])
+				}
+			}
+		}
+	}
+}
+
+// TestShardOptionsValidation pins the Options validation for sharding.
+func TestShardOptionsValidation(t *testing.T) {
+	sm := sparseRandomStatus(6, 8, 0.3, 1)
+	for _, opt := range []Options{
+		{ShardCount: -1},
+		{ShardCount: 2, ShardIndex: 2},
+		{ShardCount: 2, ShardIndex: -1},
+		{ShardIndex: 1},
+	} {
+		if _, err := Infer(sm, opt); err == nil {
+			t.Fatalf("Infer(%+v) succeeded, want error", opt)
+		}
+	}
+	if _, err := Infer(sm, Options{ShardCount: 1, ShardIndex: 0}); err != nil {
+		t.Fatalf("ShardCount=1 should be valid: %v", err)
+	}
+}
+
+// TestSparseFixedAndScaledThresholds covers the fixed/scaled threshold
+// paths through the sparse engine.
+func TestSparseFixedAndScaledThresholds(t *testing.T) {
+	sm := sparseRandomStatus(18, 40, 0.2, 11)
+	fixed := 0.01
+	for _, opt := range []Options{
+		{FixedThreshold: &fixed},
+		{ThresholdScale: 2},
+		{TraditionalMI: true},
+	} {
+		sparse := opt
+		sparse.Sparse = true
+		dr, err := Infer(sm, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sr, err := Infer(sm, sparse)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !dr.Graph.Equal(sr.Graph) {
+			t.Fatalf("opts %+v: graphs differ", opt)
+		}
+	}
+	// Negative fixed threshold: every pair (including never-co-occurring
+	// ones, whose IMI is ≤ 0) can become a candidate; the sparse engine
+	// must fall back to its marginal-class enumeration.
+	neg := -10.0
+	dr, err := Infer(sm, Options{FixedThreshold: &neg, MaxCandidates: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := Infer(sm, Options{FixedThreshold: &neg, MaxCandidates: 4, Sparse: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dr.Graph.Equal(sr.Graph) {
+		t.Fatal("negative fixed threshold: graphs differ")
+	}
+}
+
+// TestSparseObsCounters checks the engine's savings are observable.
+func TestSparseObsCounters(t *testing.T) {
+	sm := sparseRandomStatus(20, 30, 0.1, 3)
+	sp := ComputeSparseIMI(sm, false)
+	if sp.TotalPairs() != 20*19/2 {
+		t.Fatalf("TotalPairs = %d", sp.TotalPairs())
+	}
+	if sp.CoPairs() <= 0 || sp.CoPairs() > sp.TotalPairs() {
+		t.Fatalf("CoPairs = %d out of range", sp.CoPairs())
+	}
+	// Count co-occurring pairs by brute force.
+	var want int64
+	for i := 0; i < 20; i++ {
+		for j := i + 1; j < 20; j++ {
+			if c := sm.JointCounts(i, j); c[1][1] > 0 {
+				want++
+			}
+		}
+	}
+	if sp.CoPairs() != want {
+		t.Fatalf("CoPairs = %d, want %d", sp.CoPairs(), want)
+	}
+}
+
+// TestSparseEmptyAndDegenerate covers n=0/1 and all-zero observations.
+func TestSparseEmptyAndDegenerate(t *testing.T) {
+	if sp := ComputeSparseIMI(diffusion.NewStatusMatrix(4, 0), false); sp.N() != 0 {
+		t.Fatal("n=0")
+	}
+	sp := ComputeSparseIMI(diffusion.NewStatusMatrix(4, 1), false)
+	if sp.Candidates(0, 0) != nil {
+		t.Fatal("single node should have no candidates")
+	}
+	// All-zero statuses: every value is 0, nothing co-occurs.
+	sm := diffusion.NewStatusMatrix(5, 6)
+	sp = ComputeSparseIMI(sm, false)
+	dense := ComputeIMI(sm, false)
+	for i := 0; i < 6; i++ {
+		for j := i + 1; j < 6; j++ {
+			if sp.At(i, j) != dense.At(i, j) {
+				t.Fatalf("all-zero At(%d,%d): %v vs %v", i, j, sp.At(i, j), dense.At(i, j))
+			}
+		}
+	}
+	if sp.CoPairs() != 0 {
+		t.Fatalf("all-zero CoPairs = %d", sp.CoPairs())
+	}
+}
+
+// TestSparseRecordsTelemetry checks the sparse engine's observability
+// contract: row/pair/skip counters that account for the full triangle, and
+// the shared kernel tile counter.
+func TestSparseRecordsTelemetry(t *testing.T) {
+	sm := sparseRandomStatus(24, 40, 0.1, 8)
+	rec := obs.New()
+	ctx := obs.With(context.Background(), rec)
+	sp, err := ComputeSparseIMIContext(ctx, sm, false, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rec.Snapshot()
+	if got := s.Counters["core/sparse/rows"]; got != 24 {
+		t.Fatalf("core/sparse/rows = %d, want 24", got)
+	}
+	pairs, skipped := s.Counters["core/sparse/pairs"], s.Counters["core/sparse/pairs_skipped"]
+	if pairs != sp.CoPairs() {
+		t.Fatalf("core/sparse/pairs = %d, want %d", pairs, sp.CoPairs())
+	}
+	if pairs+skipped != sp.TotalPairs() {
+		t.Fatalf("pairs %d + skipped %d != total %d", pairs, skipped, sp.TotalPairs())
+	}
+	if s.Counters["core/kernel/tiles"] <= 0 {
+		t.Fatal("no kernel tiles recorded")
+	}
+}

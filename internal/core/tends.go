@@ -14,8 +14,18 @@ import (
 	"tends/internal/diffusion"
 	"tends/internal/graph"
 	"tends/internal/obs"
-	"tends/internal/stats"
 )
+
+// pairSource is the read surface the inference pipeline needs from a
+// pairwise engine; both the dense IMIMatrix and the SparseIMI satisfy it
+// with bit-identical values, thresholds, and candidate sets.
+type pairSource interface {
+	N() int
+	At(i, j int) float64
+	Candidates(i int, tau float64) []int
+	valuePool() *valuePool
+	nodePool(i int) *valuePool
+}
 
 // Options tunes the TENDS algorithm. The zero value reproduces the paper's
 // configuration.
@@ -104,6 +114,28 @@ type Options struct {
 	// checked between top-level enumeration subtrees, so it can overshoot by
 	// one subtree. 0 disables it.
 	ComboBudget int
+
+	// Sparse routes the pairwise stage through the co-occurrence sparse
+	// engine (see SparseIMI) instead of materializing the dense n(n−1)/2
+	// triangle. The inferred topology, thresholds, and scores are
+	// bit-identical to the dense path at any worker count; only the cost
+	// model changes — O(Σ_c |infected(c)|²) instead of O(n²·β/64) — which
+	// is what makes n ≥ 10⁵ inference tractable.
+	Sparse bool
+
+	// ShardIndex/ShardCount split the node-local parent search across
+	// processes: with ShardCount = k > 1, only nodes i with i mod k ==
+	// ShardIndex are searched; the rest keep empty parent sets. The
+	// pairwise stage and the global threshold are still computed in full
+	// (they are cheap next to the search and must be identical across
+	// shards), so concatenating the per-node results of all k shards
+	// reproduces the unsharded topology exactly — the score decomposes
+	// node-locally (Eq. 13). Result.Score covers only the shard's nodes'
+	// local scores plus the empty-set scores of the others; merge tooling
+	// recomputes the full-topology score. ShardCount 0 or 1 disables
+	// sharding (ShardIndex must then be 0).
+	ShardIndex int
+	ShardCount int
 }
 
 // degradeMode reports whether graceful degradation is enabled: with either
@@ -247,6 +279,15 @@ func InferContext(ctx context.Context, sm *diffusion.StatusMatrix, opt Options) 
 	if opt.ThresholdScale < 0 {
 		return nil, fmt.Errorf("core: ThresholdScale must be non-negative, got %v", opt.ThresholdScale)
 	}
+	if opt.ShardCount < 0 {
+		return nil, fmt.Errorf("core: ShardCount must be non-negative, got %d", opt.ShardCount)
+	}
+	if opt.ShardCount > 0 && (opt.ShardIndex < 0 || opt.ShardIndex >= opt.ShardCount) {
+		return nil, fmt.Errorf("core: ShardIndex %d outside [0,%d)", opt.ShardIndex, opt.ShardCount)
+	}
+	if opt.ShardCount == 0 && opt.ShardIndex != 0 {
+		return nil, fmt.Errorf("core: ShardIndex %d set without ShardCount", opt.ShardIndex)
+	}
 
 	// Telemetry: nil handles (no recorder in ctx) make every update below a
 	// free no-op; inference output is never affected.
@@ -257,26 +298,32 @@ func InferContext(ctx context.Context, sm *diffusion.StatusMatrix, opt Options) 
 		merges: rec.Counter("core/search/merges"),
 	}
 
-	imi, err := ComputeIMIContext(ctx, sm, opt.TraditionalMI, opt.Workers)
-	if err != nil {
-		return nil, fmt.Errorf("core: IMI stage: %w", err)
+	var imi pairSource
+	if opt.Sparse {
+		sp, serr := ComputeSparseIMIContext(ctx, sm, opt.TraditionalMI, opt.Workers)
+		if serr != nil {
+			return nil, fmt.Errorf("core: IMI stage: %w", serr)
+		}
+		imi = sp
+	} else {
+		dense, derr := ComputeIMIContext(ctx, sm, opt.TraditionalMI, opt.Workers)
+		if derr != nil {
+			return nil, fmt.Errorf("core: IMI stage: %w", derr)
+		}
+		imi = dense
 	}
 	thresholdSpan := rec.StartSpan("core/threshold")
 	var autoTau float64
 	switch opt.ThresholdMethod {
 	case ThresholdAuto:
-		// Both selectors consume the same O(n²) pairwise values; copy them
-		// out of the matrix once and share the slice (TwoMeansThreshold
-		// sorts an internal copy, so the FDR selector can sort the shared
-		// slice in place afterwards).
-		vals := imi.PairValues()
-		kTau := stats.TwoMeansThreshold(vals, twoMeansMaxIter)
-		sort.Float64s(vals)
-		autoTau = max(kTau, selectThresholdFDRSorted(vals, sm.Beta(), opt.FDRAlpha))
+		// Both selectors consume the same run-length value pool (no second
+		// O(n²) triangle is materialized); build it once and share it.
+		pool := imi.valuePool()
+		autoTau = max(pool.twoMeansTau(), pool.fdrTau(sm.Beta(), opt.FDRAlpha))
 	case ThresholdFDR:
-		autoTau = SelectThresholdFDR(imi, sm.Beta(), opt.FDRAlpha)
+		autoTau = imi.valuePool().fdrTau(sm.Beta(), opt.FDRAlpha)
 	case ThresholdKMeans, ThresholdKMeansPerNode:
-		autoTau = SelectThreshold(imi)
+		autoTau = imi.valuePool().twoMeansTau()
 	default:
 		return nil, fmt.Errorf("core: unknown threshold method %d", opt.ThresholdMethod)
 	}
@@ -298,12 +345,15 @@ func InferContext(ctx context.Context, sm *diffusion.StatusMatrix, opt Options) 
 	if perNode {
 		res.NodeThresholds = make([]float64, n)
 		for i := 0; i < n; i++ {
-			res.NodeThresholds[i] = SelectNodeThreshold(imi, i) * opt.ThresholdScale
+			res.NodeThresholds[i] = imi.nodePool(i).twoMeansTau() * opt.ThresholdScale
 		}
 	}
 	thresholdSpan.End()
 	searchSpan := rec.StartSpan("core/search")
 	degrade := opt.degradeMode()
+	inShard := func(i int) bool {
+		return opt.ShardCount <= 1 || i%opt.ShardCount == opt.ShardIndex
+	}
 	reasons := make([]DegradeReason, n)
 	searchNode := func(i int) {
 		nodeTau := tau
@@ -328,6 +378,9 @@ func InferContext(ctx context.Context, sm *diffusion.StatusMatrix, opt Options) 
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if !inShard(i) {
+				continue
+			}
 			if ctx.Err() != nil {
 				if !degrade {
 					break
@@ -361,7 +414,9 @@ func InferContext(ctx context.Context, sm *diffusion.StatusMatrix, opt Options) 
 			}()
 		}
 		for i := 0; i < n; i++ {
-			next <- i
+			if inShard(i) {
+				next <- i
+			}
 		}
 		close(next)
 		wg.Wait()

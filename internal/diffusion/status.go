@@ -74,6 +74,16 @@ func (m *StatusMatrix) Column(v int) []uint64 {
 	return m.cols[v*m.words : (v+1)*m.words]
 }
 
+// Words returns the number of 64-bit words per column.
+func (m *StatusMatrix) Words() int { return m.words }
+
+// ColumnData returns the column-major backing storage: n×Words() words,
+// column v occupying words [v·Words(), (v+1)·Words()). Consecutive columns
+// are contiguous, which lets kernel-style consumers stream row blocks of
+// columns without per-column bounds checks. The slice aliases the matrix and
+// must not be modified.
+func (m *StatusMatrix) ColumnData() []uint64 { return m.cols }
+
 // CountInfected returns the number of processes in which node v ended up
 // infected (N₂ of the paper; N₁ = Beta() - N₂).
 func (m *StatusMatrix) CountInfected(v int) int {

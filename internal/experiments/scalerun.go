@@ -1,0 +1,238 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"tends/internal/core"
+	"tends/internal/diffusion"
+	"tends/internal/graph"
+	"tends/internal/lfr"
+	"tends/internal/metrics"
+	"tends/internal/obs"
+)
+
+// ScaleConfig describes one point of the large-n scale study: an LFR
+// network, a subcritical diffusion workload over it, and the inference
+// configuration. Everything is derived deterministically from Seed, so a
+// shard or a rerun can regenerate the identical workload — the property the
+// sharded runner relies on to merge without shipping observation data
+// between shards.
+type ScaleConfig struct {
+	N         int     // number of nodes
+	Beta      int     // diffusion processes (observations); 0 means 256
+	AvgDegree float64 // LFR average degree; 0 means 10
+	DegreeExp float64 // LFR degree power-law exponent; 0 means 2
+	Mixing    float64 // LFR mixing parameter; 0 means the LFR default (0.1)
+	Seeds     int     // absolute seed infections per process; 0 means 10
+	// EdgeProb is the mean per-edge propagation probability; 0 means 0.08.
+	// With AvgDegree 10 this keeps the branching factor below 1, so
+	// cascades stay local and the co-occurring pair count grows ~linearly
+	// in n instead of quadratically — the regime the sparse engine's
+	// complexity model assumes (see EXPERIMENTS.md).
+	EdgeProb float64
+	Seed     int64
+
+	Workers      int
+	Sparse       bool
+	ShardIndex   int // see core.Options
+	ShardCount   int
+	MaxComboSize int
+
+	Obs *obs.Recorder // optional observability stream
+}
+
+func (c ScaleConfig) withDefaults() (ScaleConfig, error) {
+	if c.N <= 0 {
+		return c, fmt.Errorf("scale: N must be positive, got %d", c.N)
+	}
+	if c.Beta == 0 {
+		c.Beta = 256
+	}
+	if c.AvgDegree == 0 {
+		c.AvgDegree = 10
+	}
+	if c.DegreeExp == 0 {
+		c.DegreeExp = 2
+	}
+	if c.Seeds == 0 {
+		c.Seeds = 10
+	}
+	if c.EdgeProb == 0 {
+		c.EdgeProb = 0.08
+	}
+	if c.Beta < 1 {
+		return c, fmt.Errorf("scale: Beta must be positive, got %d", c.Beta)
+	}
+	if c.Seeds < 1 || c.Seeds > c.N {
+		return c, fmt.Errorf("scale: Seeds %d out of [1, N]", c.Seeds)
+	}
+	if c.EdgeProb <= 0 || c.EdgeProb >= 1 {
+		return c, fmt.Errorf("scale: EdgeProb %v out of (0,1)", c.EdgeProb)
+	}
+	return c, nil
+}
+
+// BuildScaleWorkload generates the ground-truth network and the diffusion
+// observations for one scale point. Deterministic in cfg: the same Seed
+// yields bit-identical statuses on every call, on every shard.
+func BuildScaleWorkload(ctx context.Context, cfg ScaleConfig) (*graph.Directed, *diffusion.StatusMatrix, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	net, err := lfr.Generate(lfr.Params{
+		N:         cfg.N,
+		AvgDegree: cfg.AvgDegree,
+		DegreeExp: cfg.DegreeExp,
+		Mixing:    cfg.Mixing,
+	}, rng)
+	if err != nil {
+		return nil, nil, fmt.Errorf("scale: generate network: %w", err)
+	}
+	ep := diffusion.NewEdgeProbs(net.Graph, cfg.EdgeProb, 0.05, rng)
+	sim, err := diffusion.SimulateContext(ctx, ep, diffusion.Config{
+		Alpha: float64(cfg.Seeds) / float64(cfg.N),
+		Beta:  cfg.Beta,
+	}, rng)
+	if err != nil {
+		return nil, nil, fmt.Errorf("scale: simulate: %w", err)
+	}
+	return net.Graph, sim.Statuses, nil
+}
+
+// ScaleResult is the outcome of one scale run (one shard of one, when
+// sharded).
+type ScaleResult struct {
+	Truth     *graph.Directed
+	Inference *core.Result
+	// Score is the precision/recall/F of the inferred topology against the
+	// ground truth. Meaningful only for unsharded runs: a shard's graph
+	// holds just its own nodes' parents, so its recall is ~1/k of the
+	// merged network's. Merge shards first, then score.
+	Score       metrics.PRF
+	WorkloadDur time.Duration
+	InferDur    time.Duration
+}
+
+// RunScale executes one scale point end to end: workload generation,
+// inference (sparse or dense, optionally one shard of k), and — when
+// unsharded — scoring against the generated truth.
+func RunScale(ctx context.Context, cfg ScaleConfig) (*ScaleResult, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Obs != nil {
+		ctx = obs.With(ctx, cfg.Obs)
+	}
+	t0 := time.Now()
+	truth, statuses, err := BuildScaleWorkload(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &ScaleResult{Truth: truth, WorkloadDur: time.Since(t0)}
+
+	t1 := time.Now()
+	inf, err := core.InferContext(ctx, statuses, core.Options{
+		Workers:      cfg.Workers,
+		Sparse:       cfg.Sparse,
+		ShardIndex:   cfg.ShardIndex,
+		ShardCount:   cfg.ShardCount,
+		MaxComboSize: cfg.MaxComboSize,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("scale: infer: %w", err)
+	}
+	res.Inference = inf
+	res.InferDur = time.Since(t1)
+	if cfg.ShardCount <= 1 {
+		res.Score = metrics.Score(truth, inf.Graph)
+	}
+	return res, nil
+}
+
+// WriteShardJournal records one shard's slice of a scale run.
+func WriteShardJournal(j *ShardJournal, cfg ScaleConfig, res *ScaleResult) error {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return err
+	}
+	for i, parents := range res.Inference.Parents {
+		if cfg.ShardCount > 1 && i%cfg.ShardCount != cfg.ShardIndex {
+			continue
+		}
+		if err := j.AppendNode(i, parents); err != nil {
+			return fmt.Errorf("scale: journal node %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// ShardHeaderFor builds the journal header identifying one shard run.
+func ShardHeaderFor(cfg ScaleConfig, res *ScaleResult) (ShardHeader, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return ShardHeader{}, err
+	}
+	count := cfg.ShardCount
+	if count < 1 {
+		count = 1
+	}
+	return ShardHeader{
+		ShardIndex: cfg.ShardIndex,
+		ShardCount: count,
+		N:          cfg.N,
+		Beta:       cfg.Beta,
+		Seed:       cfg.Seed,
+		Sparse:     cfg.Sparse,
+		Threshold:  res.Inference.Threshold,
+	}, nil
+}
+
+// MergedScaleResult is a sharded run reassembled into a full topology and
+// scored against the regenerated ground truth.
+type MergedScaleResult struct {
+	Graph     *graph.Directed
+	Parents   [][]int
+	Threshold float64
+	Score     metrics.PRF
+}
+
+// MergeScaleShards composes parsed shard journals into the final network
+// and scores it. cfg must be the configuration the shards ran (it is
+// cross-checked against the headers); the ground truth is regenerated from
+// cfg.Seed rather than carried through the journals.
+func MergeScaleShards(ctx context.Context, cfg ScaleConfig, headers []*ShardHeader, nodes []map[int][]int) (*MergedScaleResult, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	parents, ref, err := MergeShardJournals(headers, nodes)
+	if err != nil {
+		return nil, err
+	}
+	if ref.N != cfg.N || ref.Beta != cfg.Beta || ref.Seed != cfg.Seed {
+		return nil, fmt.Errorf("merge: journals describe run (n=%d β=%d seed=%d), config says (n=%d β=%d seed=%d)",
+			ref.N, ref.Beta, ref.Seed, cfg.N, cfg.Beta, cfg.Seed)
+	}
+	g := graph.New(cfg.N)
+	for child, ps := range parents {
+		for _, p := range ps {
+			g.AddEdge(p, child)
+		}
+	}
+	truth, _, err := BuildScaleWorkload(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &MergedScaleResult{
+		Graph:     g,
+		Parents:   parents,
+		Threshold: ref.Threshold,
+		Score:     metrics.Score(truth, g),
+	}, nil
+}

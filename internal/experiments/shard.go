@@ -1,0 +1,187 @@
+package experiments
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// ShardHeader is the first record of a shard journal — one shard's slice of
+// a sharded scale run (cmd/benchfig -shard i/k). It carries the full run
+// identity so a merge can refuse journals produced under different
+// configurations, plus the shard's selected pruning threshold: every shard
+// computes the global τ from the complete pairwise stage, so the merge
+// cross-checks that all shards agree bit-for-bit before trusting that their
+// parent sets compose into the unsharded topology.
+type ShardHeader struct {
+	Type       string  `json:"type"` // "shard_header"
+	Version    int     `json:"version"`
+	ShardIndex int     `json:"shard_index"`
+	ShardCount int     `json:"shard_count"`
+	N          int     `json:"n"`
+	Beta       int     `json:"beta"`
+	Seed       int64   `json:"seed"`
+	Sparse     bool    `json:"sparse"`
+	Threshold  float64 `json:"threshold"`
+}
+
+// shardNode is one node's inferred parent set. Only nodes owned by the
+// shard (node % shard_count == shard_index) appear.
+type shardNode struct {
+	Type    string `json:"type"` // "node"
+	Node    int    `json:"node"`
+	Parents []int  `json:"parents"`
+}
+
+// ShardJournal streams one shard's results as JSONL, reusing the checkpoint
+// journal's record writer (serialized, unbuffered appends).
+type ShardJournal struct {
+	j *Journal
+}
+
+// NewShardJournal starts a shard journal on w by writing its header.
+func NewShardJournal(w io.Writer, h ShardHeader) (*ShardJournal, error) {
+	h.Type = "shard_header"
+	h.Version = JournalVersion
+	s := &ShardJournal{j: ResumeJournal(w)}
+	if err := s.j.writeRecord(h); err != nil {
+		return nil, fmt.Errorf("write shard header: %w", err)
+	}
+	return s, nil
+}
+
+// AppendNode records one node's parent set.
+func (s *ShardJournal) AppendNode(node int, parents []int) error {
+	if parents == nil {
+		parents = []int{}
+	}
+	return s.j.writeRecord(shardNode{Type: "node", Node: node, Parents: parents})
+}
+
+// LoadShardJournal parses one shard journal. Unlike checkpoint journals,
+// shard journals feed a topology merge, so corruption is a hard error: a
+// silently dropped node record would produce a wrong final network rather
+// than a restartable cell.
+func LoadShardJournal(r io.Reader) (*ShardHeader, map[int][]int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), maxJournalLine)
+	var header *ShardHeader
+	nodes := make(map[int][]int)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var probe struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(line, &probe); err != nil {
+			return nil, nil, fmt.Errorf("shard journal line %d: %w", lineNo, err)
+		}
+		switch probe.Type {
+		case "shard_header":
+			var h ShardHeader
+			if err := json.Unmarshal(line, &h); err != nil {
+				return nil, nil, fmt.Errorf("shard journal line %d: corrupt header: %w", lineNo, err)
+			}
+			if header != nil {
+				return nil, nil, fmt.Errorf("shard journal line %d: duplicate header", lineNo)
+			}
+			if h.Version != JournalVersion {
+				return nil, nil, fmt.Errorf("shard journal version %d, want %d", h.Version, JournalVersion)
+			}
+			if h.ShardCount < 1 || h.ShardIndex < 0 || h.ShardIndex >= h.ShardCount {
+				return nil, nil, fmt.Errorf("shard journal: invalid shard identity %d/%d", h.ShardIndex, h.ShardCount)
+			}
+			header = &h
+		case "node":
+			if header == nil {
+				return nil, nil, fmt.Errorf("shard journal line %d: node record before header", lineNo)
+			}
+			var rec shardNode
+			if err := json.Unmarshal(line, &rec); err != nil {
+				return nil, nil, fmt.Errorf("shard journal line %d: corrupt node record: %w", lineNo, err)
+			}
+			if rec.Node < 0 || rec.Node >= header.N {
+				return nil, nil, fmt.Errorf("shard journal line %d: node %d out of range [0,%d)", lineNo, rec.Node, header.N)
+			}
+			if rec.Node%header.ShardCount != header.ShardIndex {
+				return nil, nil, fmt.Errorf("shard journal line %d: node %d does not belong to shard %d/%d",
+					lineNo, rec.Node, header.ShardIndex, header.ShardCount)
+			}
+			if rec.Parents == nil {
+				rec.Parents = []int{}
+			}
+			nodes[rec.Node] = rec.Parents
+		default:
+			return nil, nil, fmt.Errorf("shard journal line %d: unknown record type %q", lineNo, probe.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("read shard journal: %w", err)
+	}
+	if header == nil {
+		return nil, nil, errors.New("shard journal has no header record")
+	}
+	return header, nodes, nil
+}
+
+// MergeShardJournals validates a set of parsed shard journals and composes
+// them into the full parent-set array. It requires: identical run identity
+// across headers (N, Beta, Seed, Sparse, ShardCount), bit-identical
+// thresholds (each shard computes the global τ independently — disagreement
+// means the shards did not run the same pairwise stage), exactly the shard
+// indices {0..k-1} with no duplicates, and a parent set for every node.
+func MergeShardJournals(headers []*ShardHeader, nodes []map[int][]int) ([][]int, *ShardHeader, error) {
+	if len(headers) == 0 {
+		return nil, nil, errors.New("merge: no shard journals")
+	}
+	if len(headers) != len(nodes) {
+		return nil, nil, fmt.Errorf("merge: %d headers but %d node sets", len(headers), len(nodes))
+	}
+	ref := headers[0]
+	seen := make(map[int]bool, len(headers))
+	for _, h := range headers {
+		if h.N != ref.N || h.Beta != ref.Beta || h.Seed != ref.Seed ||
+			h.Sparse != ref.Sparse || h.ShardCount != ref.ShardCount {
+			return nil, nil, fmt.Errorf("merge: shard %d/%d ran a different configuration than shard %d/%d",
+				h.ShardIndex, h.ShardCount, ref.ShardIndex, ref.ShardCount)
+		}
+		if h.Threshold != ref.Threshold {
+			return nil, nil, fmt.Errorf("merge: shard %d selected threshold %v, shard %d selected %v — pairwise stages disagree",
+				h.ShardIndex, h.Threshold, ref.ShardIndex, ref.Threshold)
+		}
+		if seen[h.ShardIndex] {
+			return nil, nil, fmt.Errorf("merge: duplicate shard index %d", h.ShardIndex)
+		}
+		seen[h.ShardIndex] = true
+	}
+	if len(headers) != ref.ShardCount {
+		missing := make([]int, 0, ref.ShardCount)
+		for i := 0; i < ref.ShardCount; i++ {
+			if !seen[i] {
+				missing = append(missing, i)
+			}
+		}
+		sort.Ints(missing)
+		return nil, nil, fmt.Errorf("merge: have %d of %d shards, missing indices %v", len(headers), ref.ShardCount, missing)
+	}
+	parents := make([][]int, ref.N)
+	for si, h := range headers {
+		for node, ps := range nodes[si] {
+			parents[node] = ps
+		}
+		// Each shard owns ceil/floor of N/k nodes; verify it reported all.
+		owned := (ref.N - h.ShardIndex + ref.ShardCount - 1) / ref.ShardCount
+		if len(nodes[si]) != owned {
+			return nil, nil, fmt.Errorf("merge: shard %d reported %d nodes, owns %d — journal truncated?",
+				h.ShardIndex, len(nodes[si]), owned)
+		}
+	}
+	return parents, ref, nil
+}

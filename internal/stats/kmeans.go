@@ -74,6 +74,71 @@ func TwoMeansThreshold(values []float64, maxIter int) float64 {
 	return sorted[b-1]
 }
 
+// TwoMeansThresholdRuns is TwoMeansThreshold over a run-length-encoded
+// multiset: vals is ascending and strictly positive with no duplicates,
+// counts its parallel multiplicities, and zeros the number of exactly-zero
+// values (negative values are excluded by the caller, exactly as
+// TwoMeansThreshold drops them). It computes the same pinned two-means
+// boundary without ever materializing the expanded value slice, so the
+// threshold stage of an n-node inference costs O(runs) instead of O(n²)
+// memory. When every count is 1 the result is bit-identical to
+// TwoMeansThreshold on the expanded values; with duplicate values the
+// weighted prefix sums can differ from element-wise accumulation by ulps.
+func TwoMeansThresholdRuns(vals []float64, counts []int64, zeros int64, maxIter int) float64 {
+	if len(vals) != len(counts) {
+		panic("stats: vals/counts length mismatch")
+	}
+	var nonneg int64 = zeros
+	for _, c := range counts {
+		nonneg += c
+	}
+	if nonneg == 0 || len(vals) == 0 {
+		// No values at all, or every non-negative value is exactly zero:
+		// the near-zero cluster is everything and τ = 0.
+		return 0
+	}
+	// Weighted prefix sums over the runs; prefix[r] = Σ_{s<r} counts[s]·vals[s]
+	// and cum[r] the matching rank (how many expanded values precede run r,
+	// zeros excluded).
+	prefix := make([]float64, len(vals)+1)
+	cum := make([]int64, len(vals)+1)
+	for r, v := range vals {
+		prefix[r+1] = prefix[r] + float64(counts[r])*v
+		cum[r+1] = cum[r] + counts[r]
+	}
+	free := vals[len(vals)-1]
+	// boundary: the run index of the first value >= c/2 (ties to the free
+	// centroid, as in TwoMeansThreshold); the expanded rank adds the zeros.
+	boundary := func(c float64) int {
+		return sort.SearchFloat64s(vals, c/2)
+	}
+	r := boundary(free)
+	b := zeros + cum[r]
+	for iter := 0; iter < maxIter; iter++ {
+		if b >= nonneg {
+			break
+		}
+		newFree := (prefix[len(vals)] - prefix[r]) / float64(nonneg-b)
+		nr := boundary(newFree)
+		nb := zeros + cum[nr]
+		if nb == b {
+			break
+		}
+		r, b = nr, nb
+	}
+	switch {
+	case b >= nonneg:
+		// Degenerate: everything pinned; τ is the max value.
+		return vals[len(vals)-1]
+	case b == 0:
+		return 0
+	case r == 0:
+		// The boundary falls inside the zeros: τ = 0.
+		return 0
+	}
+	return vals[r-1]
+}
+
 // KMeans1D runs standard Lloyd's algorithm on one-dimensional data with k
 // clusters and returns the sorted centroids. It is provided for tests and
 // ablations that compare against the pinned variant. Empty input returns

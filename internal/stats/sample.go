@@ -30,20 +30,27 @@ func TruncatedGaussian(rng *rand.Rand, mu, sigma, lo, hi float64) float64 {
 	return hi - (hi-lo)*1e-6
 }
 
-// PowerLawDegrees samples n integer degrees from a (truncated, discrete)
-// power law P(d) ∝ d^(-exponent) on [minDeg, maxDeg], then nudges values so
-// the sample mean lands within tol of targetMean. This is the degree
-// sequence construction of the LFR benchmark: exponent is the paper's τ
-// ("larger τ implies less dispersion of degrees").
-func PowerLawDegrees(rng *rand.Rand, n int, exponent float64, minDeg, maxDeg int, targetMean, tol float64) []int {
-	if minDeg < 1 || maxDeg < minDeg {
-		panic("stats: invalid degree bounds")
+// PowerLawSampler draws integers from a (truncated, discrete) power law
+// P(d) ∝ d^(-exponent) on [min, max]. The normalized CDF is built once at
+// construction, so repeated draws cost one rng.Float64 and a binary search —
+// callers that sample many values (LFR community sizes over n=10⁵ nodes)
+// must not rebuild the table per draw.
+type PowerLawSampler struct {
+	min int
+	cdf []float64
+}
+
+// NewPowerLawSampler precomputes the sampling table. It panics on an empty
+// or non-positive support, mirroring PowerLawDegrees.
+func NewPowerLawSampler(exponent float64, min, max int) *PowerLawSampler {
+	if min < 1 || max < min {
+		panic("stats: invalid power-law bounds")
 	}
-	weights := make([]float64, maxDeg-minDeg+1)
+	weights := make([]float64, max-min+1)
 	var total float64
-	for d := minDeg; d <= maxDeg; d++ {
+	for d := min; d <= max; d++ {
 		w := math.Pow(float64(d), -exponent)
-		weights[d-minDeg] = w
+		weights[d-min] = w
 		total += w
 	}
 	cdf := make([]float64, len(weights))
@@ -52,23 +59,35 @@ func PowerLawDegrees(rng *rand.Rand, n int, exponent float64, minDeg, maxDeg int
 		acc += w / total
 		cdf[i] = acc
 	}
-	draw := func() int {
-		u := rng.Float64()
-		lo, hi := 0, len(cdf)-1
-		for lo < hi {
-			mid := (lo + hi) / 2
-			if cdf[mid] < u {
-				lo = mid + 1
-			} else {
-				hi = mid
-			}
+	return &PowerLawSampler{min: min, cdf: cdf}
+}
+
+// Draw samples one value, consuming exactly one rng.Float64.
+func (s *PowerLawSampler) Draw(rng *rand.Rand) int {
+	u := rng.Float64()
+	lo, hi := 0, len(s.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
-		return minDeg + lo
 	}
+	return s.min + lo
+}
+
+// PowerLawDegrees samples n integer degrees from a (truncated, discrete)
+// power law P(d) ∝ d^(-exponent) on [minDeg, maxDeg], then nudges values so
+// the sample mean lands within tol of targetMean. This is the degree
+// sequence construction of the LFR benchmark: exponent is the paper's τ
+// ("larger τ implies less dispersion of degrees").
+func PowerLawDegrees(rng *rand.Rand, n int, exponent float64, minDeg, maxDeg int, targetMean, tol float64) []int {
+	sampler := NewPowerLawSampler(exponent, minDeg, maxDeg)
 	degs := make([]int, n)
 	sum := 0
 	for i := range degs {
-		degs[i] = draw()
+		degs[i] = sampler.Draw(rng)
 		sum += degs[i]
 	}
 	// Nudge random entries up or down (within bounds) until the mean is
@@ -101,10 +120,15 @@ func PowerLawSizes(rng *rand.Rand, total int, exponent float64, minSize, maxSize
 	if minSize < 1 || maxSize < minSize || total < minSize {
 		panic("stats: invalid size bounds")
 	}
+	// One shared sampling table; drawing consumes one rng.Float64 per
+	// community, the same stream the per-community PowerLawDegrees(rng, 1,
+	// ...) calls used to consume (tol was so large that no nudge draws ever
+	// happened), so existing seeds reproduce their historical partitions.
+	sampler := NewPowerLawSampler(exponent, minSize, maxSize)
 	var sizes []int
 	remaining := total
 	for remaining > 0 {
-		d := PowerLawDegrees(rng, 1, exponent, minSize, maxSize, float64(minSize+maxSize)/2, 1e9)[0]
+		d := sampler.Draw(rng)
 		if d > remaining {
 			d = remaining
 		}
