@@ -12,6 +12,7 @@
 //	benchfig -all -workers 8   # run up to 8 cells concurrently
 //	benchfig -fig 1 -checkpoint run.jsonl   # journal completed cells
 //	benchfig -fig 1 -resume run.jsonl       # skip cells already journaled
+//	benchfig -fig 1 -resume run.jsonl -resume-strict  # corrupt journal lines abort instead
 //	benchfig -all -progress                 # throttled cells-done/ETA line
 //	benchfig -fig 4 -obs-json obs.json      # dump phase timings and counters
 //	benchfig -all -pprof localhost:6060     # live CPU/heap profiles
@@ -77,21 +78,22 @@ const (
 
 // runOpts carries the flag values of one benchfig invocation.
 type runOpts struct {
-	figNum      int
-	all         bool
-	repeats     int
-	seed        int64
-	csvPath     string
-	algos       string
-	quiet       bool
-	workers     int
-	cellTimeout time.Duration
-	retries     int
-	checkpoint  string
-	resume      string
-	obsJSON     string
-	progress    bool
-	pprofAddr   string
+	figNum       int
+	all          bool
+	repeats      int
+	seed         int64
+	csvPath      string
+	algos        string
+	quiet        bool
+	workers      int
+	cellTimeout  time.Duration
+	retries      int
+	checkpoint   string
+	resume       string
+	resumeStrict bool
+	obsJSON      string
+	progress     bool
+	pprofAddr    string
 
 	chaosSpec    string
 	chaosSeed    int64
@@ -119,6 +121,7 @@ func main() {
 	flag.IntVar(&o.retries, "retries", 0, "re-run a failed cell repeat up to this many times with fresh derived seeds")
 	flag.StringVar(&o.checkpoint, "checkpoint", "", "append completed cells to this JSONL journal")
 	flag.StringVar(&o.resume, "resume", "", "restore completed cells from this JSONL journal and continue it")
+	flag.BoolVar(&o.resumeStrict, "resume-strict", false, "refuse to resume from a journal with corrupt lines (exit non-zero) instead of skipping and recomputing them")
 	flag.StringVar(&o.obsJSON, "obs-json", "", "write an observability snapshot (counters, gauges, phase timings) as JSON to this file")
 	flag.BoolVar(&o.progress, "progress", false, "print a throttled cells-done/ETA line to stderr")
 	flag.StringVar(&o.pprofAddr, "pprof", "", "serve net/http/pprof on this address, e.g. localhost:6060")
@@ -273,16 +276,19 @@ func runAblation(name string, seed int64) error {
 // loadResume reads a checkpoint journal and validates its header against
 // the run's seed and repeats, so restored cells can never silently mix with
 // freshly computed ones from a different configuration. Corrupt lines (a
-// crash mid-append) are skipped, not fatal: each is reported to stderr with
-// a closing count, and the count lands on the recorder (nil-safe) so an
-// -obs-json snapshot records how much of the journal was unusable.
-func loadResume(path string, seed int64, repeats int, rec *obs.Recorder) (map[experiments.CellKey]experiments.Measurement, error) {
+// crash mid-append) are skipped by default, not fatal: each is reported to
+// stderr with its line number and byte offset plus a closing count, and the
+// count lands on the recorder (nil-safe) so an -obs-json snapshot records
+// how much of the journal was unusable. With strict set (-resume-strict)
+// the first corrupt line aborts the run instead — the same lenient/strict
+// split the streaming service applies to its write-ahead log.
+func loadResume(path string, seed int64, repeats int, strict bool, rec *obs.Recorder) (map[experiments.CellKey]experiments.Measurement, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	header, cells, warnings, err := experiments.LoadJournal(f)
+	header, cells, warnings, err := experiments.LoadJournal(f, strict)
 	for _, w := range warnings {
 		fmt.Fprintf(os.Stderr, "benchfig: %s: %s\n", path, w)
 	}
@@ -368,7 +374,7 @@ func run(ctx context.Context, o runOpts) (int, error) {
 	var resumeCells map[experiments.CellKey]experiments.Measurement
 	if o.resume != "" {
 		var err error
-		resumeCells, err = loadResume(o.resume, o.seed, repeats, rec)
+		resumeCells, err = loadResume(o.resume, o.seed, repeats, o.resumeStrict, rec)
 		if err != nil {
 			return exitErr, err
 		}

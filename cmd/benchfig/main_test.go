@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -90,7 +91,7 @@ func TestLoadResumeCountsCorruptLines(t *testing.T) {
 		t.Fatal(err)
 	}
 	rec := obs.New()
-	cells, err := loadResume(path, 5, 1, rec)
+	cells, err := loadResume(path, 5, 1, false, rec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,8 +102,12 @@ func TestLoadResumeCountsCorruptLines(t *testing.T) {
 		t.Fatalf("journal_corrupt_lines = %d, want 1", got)
 	}
 	// A nil recorder must not panic — resume without -obs-json.
-	if _, err := loadResume(path, 5, 1, nil); err != nil {
+	if _, err := loadResume(path, 5, 1, false, nil); err != nil {
 		t.Fatal(err)
+	}
+	// -resume-strict refuses the same damaged journal with the line position.
+	if _, err := loadResume(path, 5, 1, true, nil); !errors.Is(err, experiments.ErrJournalCorrupt) {
+		t.Fatalf("strict resume of damaged journal: err = %v, want ErrJournalCorrupt", err)
 	}
 }
 

@@ -52,6 +52,24 @@ const (
 	SiteMulTreeInfer = "multree.infer"
 	SiteNetInfInfer  = "netinf.infer"
 	SiteLIFTInfer    = "lift.infer"
+
+	// The streaming-service sites (internal/serve). Faults here exercise the
+	// service's recovery machinery: a failed append or fsync fails the whole
+	// un-acked batch group (clients retry), a decode fault rejects one ingest
+	// request, and a recompute fault abandons one background inference cycle
+	// (retried on the next wakeup). None of them can corrupt acked state.
+	//
+	// SiteWALAppend fires once per batch framed into the write-ahead log,
+	// before any bytes are written.
+	SiteWALAppend = "serve.wal.append"
+	// SiteWALSync fires once per group fsync, before the Sync call.
+	SiteWALSync = "serve.wal.fsync"
+	// SiteIngestDecode fires once per ingest request, before the body is
+	// decoded.
+	SiteIngestDecode = "serve.ingest.decode"
+	// SiteRecompute fires once per background recompute cycle, before the
+	// node-local parent searches run.
+	SiteRecompute = "serve.recompute"
 )
 
 // Sites returns every known injection site in declaration order.
@@ -65,6 +83,10 @@ func Sites() []string {
 		SiteMulTreeInfer,
 		SiteNetInfInfer,
 		SiteLIFTInfer,
+		SiteWALAppend,
+		SiteWALSync,
+		SiteIngestDecode,
+		SiteRecompute,
 	}
 }
 

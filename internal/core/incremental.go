@@ -1,0 +1,296 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"slices"
+	"sort"
+
+	"tends/internal/diffusion"
+	"tends/internal/obs"
+)
+
+// IncrementalCounts maintains the IMI contingency counts of a growing
+// observation stream. The IMI statistic of Eq. (25) is a decomposable sum
+// over processes — a pair's value is a pure function of (β, n11, ni, nj) —
+// so appending one final-status vector touches only the infected nodes'
+// marginal counts and the co-occurrence counts of the infected pairs:
+// O(s²) work for a cascade with s infected nodes, with no rescan of earlier
+// observations. Source then assembles the counts into the same sparse
+// pairwise engine the batch path builds, so the values, thresholds, and
+// inferred topologies are bit-identical to a from-scratch ComputeIMI /
+// ComputeSparseIMI over the concatenated status matrix — the property the
+// streaming service's crash recovery relies on.
+//
+// IncrementalCounts is not safe for concurrent use; callers serialize
+// appends against Source (the streaming service folds under its state lock).
+type IncrementalCounts struct {
+	n           int
+	beta        int
+	traditional bool
+	coPairs     int64
+	ones        []int32
+	// nbr[v] maps each co-occurring neighbor of v to the pair's joint
+	// infected count n11. Symmetric: nbr[a][b] == nbr[b][a].
+	nbr []map[int32]int32
+	// scratch holds the sorted infected list of the row being appended.
+	scratch []int32
+}
+
+// NewIncrementalCounts returns empty counts over n nodes. traditional
+// selects plain mutual information instead of infection MI, mirroring
+// Options.TraditionalMI.
+func NewIncrementalCounts(n int, traditional bool) *IncrementalCounts {
+	if n < 0 {
+		panic(fmt.Sprintf("core: negative node count %d", n))
+	}
+	return &IncrementalCounts{
+		n:           n,
+		traditional: traditional,
+		ones:        make([]int32, n),
+		nbr:         make([]map[int32]int32, n),
+	}
+}
+
+// N returns the number of nodes.
+func (c *IncrementalCounts) N() int { return c.n }
+
+// Beta returns the number of observation rows folded in so far.
+func (c *IncrementalCounts) Beta() int { return c.beta }
+
+// CoPairs returns the number of unordered node pairs with at least one
+// co-occurrence — the pairs Source materializes.
+func (c *IncrementalCounts) CoPairs() int64 { return c.coPairs }
+
+// Traditional reports whether the counts feed plain-MI values.
+func (c *IncrementalCounts) Traditional() bool { return c.traditional }
+
+// AppendRow folds one final-status vector, given as the list of infected
+// node ids (any order). Out-of-range or duplicate ids reject the whole row
+// with an error and leave the counts untouched, so a dirty input can never
+// half-apply.
+func (c *IncrementalCounts) AppendRow(infected []int) error {
+	c.scratch = c.scratch[:0]
+	for _, v := range infected {
+		if v < 0 || v >= c.n {
+			return fmt.Errorf("core: infected node %d out of range [0,%d)", v, c.n)
+		}
+		c.scratch = append(c.scratch, int32(v))
+	}
+	slices.Sort(c.scratch)
+	for k := 1; k < len(c.scratch); k++ {
+		if c.scratch[k] == c.scratch[k-1] {
+			return fmt.Errorf("core: duplicate infected node %d in row", c.scratch[k])
+		}
+	}
+	c.beta++
+	for _, v := range c.scratch {
+		c.ones[v]++
+	}
+	for ai, a := range c.scratch {
+		for _, b := range c.scratch[ai+1:] {
+			ma := c.nbr[a]
+			if ma == nil {
+				ma = make(map[int32]int32)
+				c.nbr[a] = ma
+			}
+			mb := c.nbr[b]
+			if mb == nil {
+				mb = make(map[int32]int32)
+				c.nbr[b] = mb
+			}
+			if _, seen := ma[b]; !seen {
+				c.coPairs++
+			}
+			ma[b]++
+			mb[a]++
+		}
+	}
+	return nil
+}
+
+// Source assembles the counts into a SparseIMI — the same engine
+// ComputeSparseIMI builds from a status matrix. Every field is a
+// deterministic function of (β, ones, co-occurrence counts), and those are
+// integer-exact here, so the assembled engine is indistinguishable from the
+// batch-built one: identical At values, candidate sets, value pools, and
+// therefore thresholds and inferred topologies. Cost is O(n + coPairs·log +
+// C²) with C distinct infected counts — no pass over the observations.
+func (c *IncrementalCounts) Source() *SparseIMI {
+	s := &SparseIMI{
+		n: c.n, beta: c.beta, traditional: c.traditional,
+		mt:       cachedMITable(c.beta),
+		rowStart: make([]int64, c.n+1),
+	}
+	if c.n == 0 {
+		s.pool = (&poolBuilder{}).finish()
+		return s
+	}
+
+	// Infected counts and count classes, exactly as the batch build derives
+	// them from column popcounts.
+	s.ones = append([]int32(nil), c.ones...)
+	classIdx := make([]int32, c.beta+1)
+	for v := 0; v < c.n; v++ {
+		classIdx[s.ones[v]] = 1
+	}
+	for cv := 0; cv <= c.beta; cv++ {
+		if classIdx[cv] != 0 {
+			classIdx[cv] = int32(len(s.classVals) + 1)
+			s.classVals = append(s.classVals, int32(cv))
+		}
+	}
+	nClasses := len(s.classVals)
+	s.classOf = make([]int32, c.n)
+	s.classSize = make([]int64, nClasses)
+	for v := range s.ones {
+		k := classIdx[s.ones[v]] - 1
+		s.classOf[v] = k
+		s.classSize[k]++
+	}
+	s.classNodes = make([][]int32, nClasses)
+	for k := range s.classNodes {
+		s.classNodes[k] = make([]int32, 0, s.classSize[k])
+	}
+	for v := range s.ones {
+		s.classNodes[s.classOf[v]] = append(s.classNodes[s.classOf[v]], int32(v))
+	}
+
+	// CSR rows straight from the co-occurrence maps: neighbors ascending,
+	// values through the one shared pairValue expression.
+	for v := 0; v < c.n; v++ {
+		s.rowStart[v+1] = s.rowStart[v] + int64(len(c.nbr[v]))
+	}
+	s.nbr = make([]int32, s.rowStart[c.n])
+	s.val = make([]float64, s.rowStart[c.n])
+	s.coPairs = s.rowStart[c.n] / 2
+	tally := newClassTally(nClasses)
+	var b poolBuilder
+	for v := 0; v < c.n; v++ {
+		row := s.nbr[s.rowStart[v]:s.rowStart[v]]
+		for j := range c.nbr[v] {
+			row = append(row, j)
+		}
+		slices.Sort(row)
+		ni := int(s.ones[v])
+		base := s.rowStart[v]
+		cv := s.classOf[v]
+		for k, j := range row {
+			val := pairValue(s.mt, c.traditional, c.beta, int(c.nbr[v][j]), ni, int(s.ones[j]))
+			s.val[base+int64(k)] = val
+			if int(j) > v {
+				tally.add(cv, s.classOf[j])
+				b.add(val, 1)
+			}
+		}
+	}
+
+	// Marginal runs for the never-co-occurring pairs, identical to the
+	// batch assembly (same class walk, same closed-form n11 = 0 value).
+	s.maxMarginal = make([]float64, nClasses)
+	for a := range s.maxMarginal {
+		s.maxMarginal[a] = math.Inf(-1)
+	}
+	for a := 0; a < nClasses; a++ {
+		for cc := a; cc < nClasses; cc++ {
+			var tot int64
+			if a == cc {
+				tot = s.classSize[a] * (s.classSize[a] - 1) / 2
+			} else {
+				tot = s.classSize[a] * s.classSize[cc]
+			}
+			zp := tot - tally.pairCount(a, cc)
+			if zp <= 0 {
+				continue
+			}
+			mv := pairValue(s.mt, c.traditional, c.beta, 0, int(s.classVals[a]), int(s.classVals[cc]))
+			s.marginalVals = append(s.marginalVals, mv)
+			s.marginalCnt = append(s.marginalCnt, zp)
+			b.add(mv, zp)
+			if mv > s.maxMarginal[a] {
+				s.maxMarginal[a] = mv
+			}
+			if mv > s.maxMarginal[cc] {
+				s.maxMarginal[cc] = mv
+			}
+		}
+	}
+	s.pool = b.finish()
+	return s
+}
+
+// ActiveNodes returns, ascending, the nodes with at least one co-occurring
+// partner — the only nodes whose candidate sets can be non-empty under a
+// non-negative threshold, and therefore the only nodes the streaming
+// service's recompute loop must search.
+func (c *IncrementalCounts) ActiveNodes() []int {
+	var out []int
+	for v := 0; v < c.n; v++ {
+		if len(c.nbr[v]) > 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Neighbors returns node v's co-occurring partners, ascending. The slice is
+// freshly allocated.
+func (c *IncrementalCounts) Neighbors(v int) []int {
+	if v < 0 || v >= c.n {
+		panic(fmt.Sprintf("core: node %d out of range [0,%d)", v, c.n))
+	}
+	out := make([]int, 0, len(c.nbr[v]))
+	for j := range c.nbr[v] {
+		out = append(out, int(j))
+	}
+	sort.Ints(out)
+	return out
+}
+
+// InferFromCounts reconstructs the topology from incrementally maintained
+// counts plus the status matrix of the same observations (the scorer of
+// Eq. 13 needs the full columns; the pairwise stage does not rescan them).
+// The result is bit-identical to InferContext over the same matrix at any
+// worker count — the counts replace only the pairwise scan, the threshold
+// and search stages are shared code. sm and counts must describe the same
+// stream: equal n and β, and row r of sm must be the r-th appended row.
+func InferFromCounts(ctx context.Context, sm *diffusion.StatusMatrix, counts *IncrementalCounts, opt Options) (*Result, error) {
+	if counts.n != sm.N() || counts.beta != sm.Beta() {
+		return nil, fmt.Errorf("core: counts describe %d nodes × %d rows, matrix is %d × %d",
+			counts.n, counts.beta, sm.N(), sm.Beta())
+	}
+	rec := obs.From(ctx)
+	span := rec.StartSpan("core/imi")
+	imi := counts.Source()
+	span.End()
+	return InferFromSource(ctx, sm, imi, opt)
+}
+
+// InferFromSource is the lowest-level incremental entry point: it runs the
+// threshold and parent-search stages over an already-assembled sparse
+// engine. The streaming service assembles the source under its state lock
+// (cheap) and then searches outside it (expensive) — the source and matrix
+// are immutable snapshots, so concurrent folds cannot race the search.
+func InferFromSource(ctx context.Context, sm *diffusion.StatusMatrix, src *SparseIMI, opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	if err := validateOptions(sm, opt); err != nil {
+		return nil, err
+	}
+	if src.n != sm.N() || src.beta != sm.Beta() {
+		return nil, fmt.Errorf("core: source describes %d nodes × %d rows, matrix is %d × %d",
+			src.n, src.beta, sm.N(), sm.Beta())
+	}
+	if src.traditional != opt.TraditionalMI {
+		return nil, fmt.Errorf("core: source built with traditional=%v, options say %v", src.traditional, opt.TraditionalMI)
+	}
+	rec := obs.From(ctx)
+	defer rec.StartSpan("core/infer").End()
+	rec.Counter("core/sparse/rows").Add(int64(src.n))
+	rec.Counter("core/sparse/pairs").Add(src.CoPairs())
+	rec.Counter("core/sparse/pairs_skipped").Add(src.TotalPairs() - src.CoPairs())
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: IMI stage: %w", err)
+	}
+	return inferStages(ctx, sm, src, opt)
+}

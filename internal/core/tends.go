@@ -267,36 +267,14 @@ func InferContext(ctx context.Context, sm *diffusion.StatusMatrix, opt Options) 
 	if err := chaos.Maybe(ctx, chaos.SiteCoreInfer); err != nil {
 		return nil, err
 	}
-	if sm.N() == 0 {
-		return nil, fmt.Errorf("core: status matrix has no nodes")
-	}
-	if sm.Beta() == 0 {
-		return nil, fmt.Errorf("core: status matrix has no observations")
-	}
-	if opt.MaxComboSize < 1 {
-		return nil, fmt.Errorf("core: MaxComboSize must be >= 1, got %d", opt.MaxComboSize)
-	}
-	if opt.ThresholdScale < 0 {
-		return nil, fmt.Errorf("core: ThresholdScale must be non-negative, got %v", opt.ThresholdScale)
-	}
-	if opt.ShardCount < 0 {
-		return nil, fmt.Errorf("core: ShardCount must be non-negative, got %d", opt.ShardCount)
-	}
-	if opt.ShardCount > 0 && (opt.ShardIndex < 0 || opt.ShardIndex >= opt.ShardCount) {
-		return nil, fmt.Errorf("core: ShardIndex %d outside [0,%d)", opt.ShardIndex, opt.ShardCount)
-	}
-	if opt.ShardCount == 0 && opt.ShardIndex != 0 {
-		return nil, fmt.Errorf("core: ShardIndex %d set without ShardCount", opt.ShardIndex)
+	if err := validateOptions(sm, opt); err != nil {
+		return nil, err
 	}
 
 	// Telemetry: nil handles (no recorder in ctx) make every update below a
 	// free no-op; inference output is never affected.
 	rec := obs.From(ctx)
 	defer rec.StartSpan("core/infer").End()
-	tel := coreTel{
-		combos: rec.Counter("core/search/combos"),
-		merges: rec.Counter("core/search/merges"),
-	}
 
 	var imi pairSource
 	if opt.Sparse {
@@ -311,6 +289,48 @@ func InferContext(ctx context.Context, sm *diffusion.StatusMatrix, opt Options) 
 			return nil, fmt.Errorf("core: IMI stage: %w", derr)
 		}
 		imi = dense
+	}
+	return inferStages(ctx, sm, imi, opt)
+}
+
+// validateOptions rejects inconsistent inference inputs; it is shared by
+// InferContext and the incremental-count entry point so both fail the same
+// way on the same misconfigurations.
+func validateOptions(sm *diffusion.StatusMatrix, opt Options) error {
+	if sm.N() == 0 {
+		return fmt.Errorf("core: status matrix has no nodes")
+	}
+	if sm.Beta() == 0 {
+		return fmt.Errorf("core: status matrix has no observations")
+	}
+	if opt.MaxComboSize < 1 {
+		return fmt.Errorf("core: MaxComboSize must be >= 1, got %d", opt.MaxComboSize)
+	}
+	if opt.ThresholdScale < 0 {
+		return fmt.Errorf("core: ThresholdScale must be non-negative, got %v", opt.ThresholdScale)
+	}
+	if opt.ShardCount < 0 {
+		return fmt.Errorf("core: ShardCount must be non-negative, got %d", opt.ShardCount)
+	}
+	if opt.ShardCount > 0 && (opt.ShardIndex < 0 || opt.ShardIndex >= opt.ShardCount) {
+		return fmt.Errorf("core: ShardIndex %d outside [0,%d)", opt.ShardIndex, opt.ShardCount)
+	}
+	if opt.ShardCount == 0 && opt.ShardIndex != 0 {
+		return fmt.Errorf("core: ShardIndex %d set without ShardCount", opt.ShardIndex)
+	}
+	return nil
+}
+
+// inferStages runs everything after the pairwise stage — threshold
+// selection, the per-node parent search, degradation reporting, and scoring
+// — over any pairwise source. The dense, sparse, and incremental-count
+// engines all produce bit-identical sources, so the stages (and therefore
+// the inferred topology) are engine-independent.
+func inferStages(ctx context.Context, sm *diffusion.StatusMatrix, imi pairSource, opt Options) (*Result, error) {
+	rec := obs.From(ctx)
+	tel := coreTel{
+		combos: rec.Counter("core/search/combos"),
+		merges: rec.Counter("core/search/merges"),
 	}
 	thresholdSpan := rec.StartSpan("core/threshold")
 	var autoTau float64

@@ -1,0 +1,77 @@
+package diffusion
+
+import (
+	"fmt"
+	"slices"
+)
+
+// StatusBuffer accumulates final-status vectors as they stream in, storing
+// each row as its sorted infected-node list — the compact form a service
+// keeps resident while its write-ahead log holds the durable copy. Matrix
+// materializes the bit-packed StatusMatrix the inference kernels consume;
+// the buffer itself never re-layouts on append, so folding a row is O(s)
+// for s infected nodes.
+type StatusBuffer struct {
+	n     int
+	rows  [][]int32
+	total int64 // infected entries across all rows
+}
+
+// NewStatusBuffer returns an empty buffer over n nodes.
+func NewStatusBuffer(n int) *StatusBuffer {
+	if n < 0 {
+		panic(fmt.Sprintf("diffusion: negative node count %d", n))
+	}
+	return &StatusBuffer{n: n}
+}
+
+// N returns the number of nodes.
+func (b *StatusBuffer) N() int { return b.n }
+
+// Beta returns the number of rows appended so far.
+func (b *StatusBuffer) Beta() int { return len(b.rows) }
+
+// TotalInfected returns the infected entries across all rows.
+func (b *StatusBuffer) TotalInfected() int64 { return b.total }
+
+// Append folds one row, given as the infected node ids in any order.
+// Out-of-range or duplicate ids reject the row without mutating the buffer.
+func (b *StatusBuffer) Append(infected []int32) error {
+	row := make([]int32, len(infected))
+	copy(row, infected)
+	slices.Sort(row)
+	for k, v := range row {
+		if v < 0 || int(v) >= b.n {
+			return fmt.Errorf("diffusion: infected node %d out of range [0,%d)", v, b.n)
+		}
+		if k > 0 && row[k-1] == v {
+			return fmt.Errorf("diffusion: duplicate infected node %d in row", v)
+		}
+	}
+	b.rows = append(b.rows, row)
+	b.total += int64(len(row))
+	return nil
+}
+
+// Row returns the sorted infected list of row p. The slice aliases the
+// buffer and must not be modified.
+func (b *StatusBuffer) Row(p int) []int32 {
+	if p < 0 || p >= len(b.rows) {
+		panic(fmt.Sprintf("diffusion: row %d out of range [0,%d)", p, len(b.rows)))
+	}
+	return b.rows[p]
+}
+
+// Matrix materializes the buffered rows as a bit-packed StatusMatrix. Rows
+// already appended are immutable, so the matrix is a consistent snapshot
+// even if the caller keeps appending afterwards (the matrix simply excludes
+// the later rows).
+func (b *StatusBuffer) Matrix() *StatusMatrix {
+	sm := NewStatusMatrix(len(b.rows), b.n)
+	for p, row := range b.rows {
+		for _, v := range row {
+			sm.Set(p, int(v), true)
+		}
+	}
+	return sm
+}

@@ -366,7 +366,7 @@ func TestDegradationThreadedThroughHarness(t *testing.T) {
 	if err := j.Append(0, base[0]); err != nil {
 		t.Fatal(err)
 	}
-	_, cells, _, err := LoadJournal(bytes.NewReader(jbuf.Bytes()))
+	_, cells, _, err := LoadJournal(bytes.NewReader(jbuf.Bytes()), false)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -126,21 +126,56 @@ func (j *Journal) writeRecord(rec any) error {
 // hundred bytes, so anything larger is corruption.
 const maxJournalLine = 1 << 20
 
+// ErrJournalCorrupt reports a journal line a strict load refuses to skip.
+// It is the checkpoint analogue of the streaming service's strict-WAL
+// policy: lenient tooling truncates or skips damage and reports where,
+// strict tooling stops so an operator can decide.
+var ErrJournalCorrupt = errors.New("checkpoint journal corrupt")
+
+// JournalWarning pinpoints one skipped journal line: its 1-based line
+// number, the byte offset of the line start (assuming \n line endings, the
+// only kind the journal writer emits), and why it was skipped. The offsets
+// let tooling excise or inspect the damage with dd/sed rather than
+// re-deriving positions from a count.
+type JournalWarning struct {
+	Line   int
+	Offset int64
+	Reason string
+}
+
+func (w JournalWarning) String() string {
+	return fmt.Sprintf("line %d (byte %d): %s", w.Line, w.Offset, w.Reason)
+}
+
 // LoadJournal parses a checkpoint journal. Corrupt or truncated lines —
 // the expected tail state of a journal cut off by a kill — are skipped,
-// each reported in the returned warnings; a later record for the same cell
-// wins. The only hard errors are an unreadable stream and a missing or
-// incompatible header, which make every record untrustworthy.
-func LoadJournal(r io.Reader) (*JournalHeader, map[CellKey]Measurement, []string, error) {
+// each reported with its exact position in the returned warnings; a later
+// record for the same cell wins. In strict mode the first such line is
+// instead a hard error wrapping ErrJournalCorrupt (mirroring the service
+// WAL's strict-open policy). Always-hard errors, either mode: an
+// unreadable stream and a missing or incompatible header, which make
+// every record untrustworthy.
+func LoadJournal(r io.Reader, strict bool) (*JournalHeader, map[CellKey]Measurement, []JournalWarning, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 64*1024), maxJournalLine)
 	var header *JournalHeader
 	cells := make(map[CellKey]Measurement)
-	var warnings []string
+	var warnings []JournalWarning
 	lineNo := 0
+	var offset, lineStart int64
+	skip := func(format string, a ...any) error {
+		w := JournalWarning{Line: lineNo, Offset: lineStart, Reason: fmt.Sprintf(format, a...)}
+		if strict {
+			return fmt.Errorf("%w: line %d (byte %d): %s", ErrJournalCorrupt, w.Line, w.Offset, w.Reason)
+		}
+		warnings = append(warnings, w)
+		return nil
+	}
 	for sc.Scan() {
 		lineNo++
 		line := sc.Bytes()
+		lineStart = offset
+		offset += int64(len(line)) + 1
 		if len(line) == 0 {
 			continue
 		}
@@ -148,18 +183,24 @@ func LoadJournal(r io.Reader) (*JournalHeader, map[CellKey]Measurement, []string
 			Type string `json:"type"`
 		}
 		if err := json.Unmarshal(line, &probe); err != nil {
-			warnings = append(warnings, fmt.Sprintf("line %d: skipping corrupt record: %v", lineNo, err))
+			if err := skip("skipping corrupt record: %v", err); err != nil {
+				return header, cells, warnings, err
+			}
 			continue
 		}
 		switch probe.Type {
 		case "header":
 			var h JournalHeader
 			if err := json.Unmarshal(line, &h); err != nil {
-				warnings = append(warnings, fmt.Sprintf("line %d: skipping corrupt header: %v", lineNo, err))
+				if err := skip("skipping corrupt header: %v", err); err != nil {
+					return header, cells, warnings, err
+				}
 				continue
 			}
 			if header != nil {
-				warnings = append(warnings, fmt.Sprintf("line %d: ignoring duplicate header", lineNo))
+				if err := skip("ignoring duplicate header"); err != nil {
+					return header, cells, warnings, err
+				}
 				continue
 			}
 			if h.Version != JournalVersion {
@@ -169,15 +210,21 @@ func LoadJournal(r io.Reader) (*JournalHeader, map[CellKey]Measurement, []string
 		case "cell":
 			var c journalCell
 			if err := json.Unmarshal(line, &c); err != nil {
-				warnings = append(warnings, fmt.Sprintf("line %d: skipping corrupt cell: %v", lineNo, err))
+				if err := skip("skipping corrupt cell: %v", err); err != nil {
+					return header, cells, warnings, err
+				}
 				continue
 			}
 			if header == nil {
-				warnings = append(warnings, fmt.Sprintf("line %d: skipping cell before header", lineNo))
+				if err := skip("skipping cell before header"); err != nil {
+					return header, cells, warnings, err
+				}
 				continue
 			}
 			if c.PointIndex < 0 || c.Figure == "" || c.Algorithm == "" {
-				warnings = append(warnings, fmt.Sprintf("line %d: skipping cell with invalid identity", lineNo))
+				if err := skip("skipping cell with invalid identity"); err != nil {
+					return header, cells, warnings, err
+				}
 				continue
 			}
 			m := Measurement{
@@ -201,7 +248,9 @@ func LoadJournal(r io.Reader) (*JournalHeader, map[CellKey]Measurement, []string
 			}
 			cells[CellKey{Figure: c.Figure, PointIndex: c.PointIndex, Algorithm: m.Algorithm}] = m
 		default:
-			warnings = append(warnings, fmt.Sprintf("line %d: skipping unknown record type %q", lineNo, probe.Type))
+			if err := skip("skipping unknown record type %q", probe.Type); err != nil {
+				return header, cells, warnings, err
+			}
 		}
 	}
 	if err := sc.Err(); err != nil {

@@ -26,12 +26,18 @@ func TestLoadJournalSkipsCorruptLines(t *testing.T) {
 	}
 	// Simulate a journal cut off mid-write plus assorted corruption: a
 	// truncated cell record, garbage, an unknown type, and an invalid cell.
-	buf.WriteString(`{"type":"cell","figure":"Fig1","point_index":1,"algo` + "\n")
-	buf.WriteString("not json at all\n")
-	buf.WriteString(`{"type":"mystery"}` + "\n")
-	buf.WriteString(`{"type":"cell","figure":"","point_index":-2,"algorithm":""}` + "\n")
+	cleanLen := int64(buf.Len())
+	corrupt := []string{
+		`{"type":"cell","figure":"Fig1","point_index":1,"algo`,
+		"not json at all",
+		`{"type":"mystery"}`,
+		`{"type":"cell","figure":"","point_index":-2,"algorithm":""}`,
+	}
+	for _, line := range corrupt {
+		buf.WriteString(line + "\n")
+	}
 
-	header, cells, warnings, err := LoadJournal(bytes.NewReader(buf.Bytes()))
+	header, cells, warnings, err := LoadJournal(bytes.NewReader(buf.Bytes()), false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,10 +47,19 @@ func TestLoadJournalSkipsCorruptLines(t *testing.T) {
 	if len(warnings) != 4 {
 		t.Fatalf("warnings = %v, want 4", warnings)
 	}
-	for _, w := range warnings {
-		if !strings.Contains(w, "skipping") {
+	// Every warning names the exact line and byte offset of the damage.
+	wantOffset := cleanLen
+	for i, w := range warnings {
+		if !strings.Contains(w.Reason, "skipping") {
 			t.Fatalf("warning %q does not explain the skip", w)
 		}
+		if wantLine := 4 + i; w.Line != wantLine {
+			t.Fatalf("warning %d at line %d, want %d", i, w.Line, wantLine)
+		}
+		if w.Offset != wantOffset {
+			t.Fatalf("warning %d at offset %d, want %d", i, w.Offset, wantOffset)
+		}
+		wantOffset += int64(len(corrupt[i])) + 1
 	}
 	if len(cells) != 2 {
 		t.Fatalf("cells = %d, want 2", len(cells))
@@ -61,17 +76,49 @@ func TestLoadJournalSkipsCorruptLines(t *testing.T) {
 }
 
 func TestLoadJournalRejectsHeaderProblems(t *testing.T) {
-	if _, _, _, err := LoadJournal(strings.NewReader("")); err == nil {
+	if _, _, _, err := LoadJournal(strings.NewReader(""), false); err == nil {
 		t.Fatal("empty journal should fail (no header)")
 	}
 	cellOnly := `{"type":"cell","figure":"Fig1","point_index":0,"algorithm":"TENDS"}` + "\n"
-	_, cells, warnings, err := LoadJournal(strings.NewReader(cellOnly))
+	_, cells, warnings, err := LoadJournal(strings.NewReader(cellOnly), false)
 	if err == nil {
 		t.Fatalf("headerless journal should fail, got cells=%v warnings=%v", cells, warnings)
 	}
 	future := `{"type":"header","version":99,"seed":1,"repeats":1}` + "\n"
-	if _, _, _, err := LoadJournal(strings.NewReader(future)); err == nil {
+	if _, _, _, err := LoadJournal(strings.NewReader(future), false); err == nil {
 		t.Fatal("future journal version should fail")
+	}
+}
+
+// TestLoadJournalStrict checks the strict/lenient policy split the journal
+// shares with the service WAL: lenient skips damage and reports positions,
+// strict refuses at the first corrupt line with ErrJournalCorrupt.
+func TestLoadJournalStrict(t *testing.T) {
+	var buf bytes.Buffer
+	j, err := NewJournal(&buf, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(0, Measurement{Figure: "Fig1", Point: "p", Algorithm: AlgoTENDS, F: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A clean journal loads identically in both modes.
+	if _, cells, warnings, err := LoadJournal(bytes.NewReader(buf.Bytes()), true); err != nil || len(warnings) != 0 || len(cells) != 1 {
+		t.Fatalf("strict load of clean journal: cells=%d warnings=%v err=%v", len(cells), warnings, err)
+	}
+
+	buf.WriteString(`{"type":"cell","figure":"Fig1","point_ind` + "\n") // torn tail
+	_, _, _, err = LoadJournal(bytes.NewReader(buf.Bytes()), true)
+	if !errors.Is(err, ErrJournalCorrupt) {
+		t.Fatalf("strict load of torn journal: err = %v, want ErrJournalCorrupt", err)
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("strict error %q does not name the corrupt line", err)
+	}
+	// The same journal remains loadable leniently.
+	if _, cells, warnings, err := LoadJournal(bytes.NewReader(buf.Bytes()), false); err != nil || len(warnings) != 1 || len(cells) != 1 {
+		t.Fatalf("lenient load of torn journal: cells=%d warnings=%v err=%v", len(cells), warnings, err)
 	}
 }
 
@@ -88,7 +135,7 @@ func TestLoadJournalLastRecordWins(t *testing.T) {
 	if err := j.Append(0, Measurement{Figure: "Fig1", Point: "p", Algorithm: AlgoTENDS, F: 0.9}); err != nil {
 		t.Fatal(err)
 	}
-	_, cells, _, err := LoadJournal(bytes.NewReader(buf.Bytes()))
+	_, cells, _, err := LoadJournal(bytes.NewReader(buf.Bytes()), false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +153,8 @@ func FuzzLoadJournal(f *testing.F) {
 	f.Add([]byte("\n\nnot json\n"))
 	f.Add([]byte(`{"type":"header","version":1}{"type":"header","version":1}`))
 	f.Fuzz(func(t *testing.T, data []byte) {
-		header, cells, _, err := LoadJournal(bytes.NewReader(data))
+		header, cells, warnings, err := LoadJournal(bytes.NewReader(data), false)
+		_, _, _, strictErr := LoadJournal(bytes.NewReader(data), true)
 		if err != nil {
 			return
 		}
@@ -117,6 +165,14 @@ func FuzzLoadJournal(f *testing.F) {
 			if key.Figure == "" || key.Algorithm == "" || key.PointIndex < 0 {
 				t.Fatalf("invalid cell key survived validation: %+v", key)
 			}
+		}
+		// Policy consistency: a journal the lenient load accepts without
+		// warnings must load strictly too, and vice versa.
+		if len(warnings) == 0 && strictErr != nil {
+			t.Fatalf("warning-free journal fails strict load: %v", strictErr)
+		}
+		if len(warnings) > 0 && strictErr == nil {
+			t.Fatalf("journal with %d warnings passes strict load", len(warnings))
 		}
 	})
 }
@@ -135,7 +191,7 @@ func TestJournalPhaseRoundTrip(t *testing.T) {
 	if err := j.Append(2, m); err != nil {
 		t.Fatal(err)
 	}
-	_, cells, _, err := LoadJournal(bytes.NewReader(buf.Bytes()))
+	_, cells, _, err := LoadJournal(bytes.NewReader(buf.Bytes()), false)
 	if err != nil {
 		t.Fatal(err)
 	}

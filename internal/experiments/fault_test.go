@@ -252,7 +252,7 @@ func TestCheckpointResumeRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	header, cells, warnings, err := LoadJournal(bytes.NewReader(buf.Bytes()))
+	header, cells, warnings, err := LoadJournal(bytes.NewReader(buf.Bytes()), false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -342,7 +342,7 @@ func TestCheckpointResumeAfterCancel(t *testing.T) {
 	}
 	algoHooks = nil // restore the real TENDS for the resumed run
 
-	_, cells, _, err := LoadJournal(bytes.NewReader(buf.Bytes()))
+	_, cells, _, err := LoadJournal(bytes.NewReader(buf.Bytes()), false)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,108 @@
+package serve
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"tends/internal/core"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snapshot.bin")
+	want := &snapshot{
+		n:           6,
+		traditional: true,
+		rows:        [][]int32{{0, 2, 5}, {}, {1}, {0, 1, 2, 3, 4, 5}},
+		ids:         []uint64{3, 1, 99, 7},
+		topo: &topology{
+			epoch:     9,
+			rows:      4,
+			threshold: 0.1875,
+			parents:   [][]int{{1, 4}, {}, nil, {0}, {2, 3, 5}, {}},
+			degraded: []core.NodeDegrade{
+				{Node: 2, Reason: core.DegradeDeadline},
+				{Node: 4, Reason: core.DegradeComboBudget},
+			},
+		},
+	}
+	if err := writeSnapshot(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.n != want.n || got.traditional != want.traditional {
+		t.Fatalf("header: got n=%d trad=%v", got.n, got.traditional)
+	}
+	if !reflect.DeepEqual(got.rows, want.rows) {
+		t.Fatalf("rows: got %v want %v", got.rows, want.rows)
+	}
+	// The id set is persisted sorted.
+	if !reflect.DeepEqual(got.ids, []uint64{1, 3, 7, 99}) {
+		t.Fatalf("ids: got %v", got.ids)
+	}
+	if got.topo == nil || got.topo.epoch != 9 || got.topo.rows != 4 || got.topo.threshold != 0.1875 {
+		t.Fatalf("topo header: %+v", got.topo)
+	}
+	// nil and empty parent lists both decode as empty.
+	wantParents := [][]int{{1, 4}, {}, {}, {0}, {2, 3, 5}, {}}
+	if !reflect.DeepEqual(got.topo.parents, wantParents) {
+		t.Fatalf("parents: got %v want %v", got.topo.parents, wantParents)
+	}
+	if !reflect.DeepEqual(got.topo.degraded, want.topo.degraded) {
+		t.Fatalf("degraded: got %v", got.topo.degraded)
+	}
+}
+
+func TestSnapshotNoTopology(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snapshot.bin")
+	want := &snapshot{n: 3, rows: [][]int32{{0}}, ids: []uint64{1}}
+	if err := writeSnapshot(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.topo != nil {
+		t.Fatalf("topo = %+v, want nil", got.topo)
+	}
+}
+
+func TestSnapshotMissing(t *testing.T) {
+	got, err := readSnapshot(filepath.Join(t.TempDir(), "absent.bin"))
+	if got != nil || err != nil {
+		t.Fatalf("absent snapshot: got %v, %v", got, err)
+	}
+}
+
+// TestSnapshotCorruption flips every byte in turn; decode must reject the
+// mutation (the trailing CRC catches it) and never panic.
+func TestSnapshotCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snapshot.bin")
+	s := &snapshot{
+		n:    4,
+		rows: [][]int32{{0, 3}, {1}},
+		ids:  []uint64{5},
+		topo: &topology{epoch: 1, rows: 2, parents: [][]int{{}, {0}, {}, {}}},
+	}
+	if err := writeSnapshot(path, s); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(path)
+	for i := range data {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0x5a
+		if _, err := decodeSnapshot(mut); err == nil {
+			t.Fatalf("byte %d: corruption accepted", i)
+		}
+	}
+	for cut := 0; cut < len(data); cut++ {
+		if _, err := decodeSnapshot(data[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
