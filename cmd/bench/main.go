@@ -145,6 +145,48 @@ func hotPaths() []hotPath {
 				}
 			}
 		}},
+		{"simulate/sir", func(b *testing.B) {
+			g := graph.GNM(200, 8000, rand.New(rand.NewSource(1)))
+			rng := rand.New(rand.NewSource(2))
+			ep := diffusion.NewEdgeProbs(g, 0.1, 0.05, rng)
+			cfg := diffusion.Config{Alpha: 0.15, Beta: 150}
+			sc := diffusion.Scenario{Model: diffusion.ModelSIR, Recovery: 0.5}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := diffusion.SimulateScenario(ep, cfg, sc, rng); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"simulate/sis", func(b *testing.B) {
+			g := graph.GNM(200, 8000, rand.New(rand.NewSource(1)))
+			rng := rand.New(rand.NewSource(2))
+			ep := diffusion.NewEdgeProbs(g, 0.1, 0.05, rng)
+			cfg := diffusion.Config{Alpha: 0.15, Beta: 150}
+			sc := diffusion.Scenario{Model: diffusion.ModelSIS, Recovery: 0.5, Reinfection: 0.3, MaxRounds: 50}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := diffusion.SimulateScenario(ep, cfg, sc, rng); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"simulate/dirty", func(b *testing.B) {
+			g := graph.GNM(200, 8000, rand.New(rand.NewSource(1)))
+			rng := rand.New(rand.NewSource(2))
+			ep := diffusion.NewEdgeProbs(g, 0.1, 0.05, rng)
+			cfg := diffusion.Config{Alpha: 0.15, Beta: 150}
+			sc := diffusion.Scenario{Missing: 0.2, Uncertain: 0.2}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := diffusion.SimulateScenario(ep, cfg, sc, rng); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
 		{"imi/pairwise", func(b *testing.B) {
 			sm := chainObservations(b, 200, 150)
 			b.ReportAllocs()

@@ -26,6 +26,9 @@ func TestRunQuickWritesWellFormedJSON(t *testing.T) {
 	}
 	want := map[string]bool{
 		"simulate/dense": false,
+		"simulate/sir":   false,
+		"simulate/sis":   false,
+		"simulate/dirty": false,
 		"imi/pairwise":   false,
 		"tends/infer":    false,
 		"netrate/infer":  false,

@@ -20,6 +20,16 @@
 //	benchfig -fig 1 -node-deadline 50ms -combo-budget 5000   # degrade, don't hang
 //	benchfig -fig 1 -retries 3 -retry-backoff 100ms -breaker 2
 //
+// Scenario overrides rerun any figure under different diffusion dynamics or
+// dirty observations (figures 12–15 are dedicated scenario sweeps; an
+// override never flattens the axis a figure itself sweeps):
+//
+//	benchfig -fig 4 -model sir -recovery 0.5        # Fig 4 under SIR dynamics
+//	benchfig -fig 4 -model sis -recovery 0.5 -reinfect 0.3
+//	benchfig -fig 6 -delay rayleigh                 # Rayleigh transmission delays
+//	benchfig -fig 12 -csv miss.csv                  # F vs missing-rate family
+//	benchfig -fig 8 -missing 0.2 -uncertain 0.1     # dirty observations
+//
 // Scale-study mode (large-n LFR, sparse engine, optional sharding):
 //
 //	benchfig -scale -scale-n 100000 -sparse           # one big run end to end
@@ -101,6 +111,16 @@ type runOpts struct {
 	comboBudget  int
 	retryBackoff time.Duration
 	breaker      int
+
+	// Scenario overrides; empty strings and negative floats mean "keep the
+	// figure's own value" (see experiments.ScenarioOverride).
+	model      string
+	delay      string
+	delayParam float64
+	recovery   float64
+	reinfect   float64
+	missing    float64
+	uncertain  float64
 }
 
 func main() {
@@ -109,7 +129,7 @@ func main() {
 		ablation = flag.String("ablation", "", "run an ablation instead: threshold, greedy, pruning, penalty, treemodel")
 		ext      = flag.String("ext", "", "run an extension study instead: noise, missing, mismatch, timestamps")
 	)
-	flag.IntVar(&o.figNum, "fig", 0, "figure number to regenerate (1..11)")
+	flag.IntVar(&o.figNum, "fig", 0, "figure number to regenerate (1..15)")
 	flag.BoolVar(&o.all, "all", false, "regenerate every figure")
 	flag.IntVar(&o.repeats, "repeats", 1, "simulation repeats averaged per point")
 	flag.Int64Var(&o.seed, "seed", 1, "base RNG seed")
@@ -131,6 +151,13 @@ func main() {
 	flag.IntVar(&o.comboBudget, "combo-budget", 0, "cap on parent combinations scored per TENDS node; breaching nodes degrade (0 = none)")
 	flag.DurationVar(&o.retryBackoff, "retry-backoff", 0, "base delay before cell retries, doubled per attempt with seeded jitter (0 = immediate)")
 	flag.IntVar(&o.breaker, "breaker", 0, "stop retrying a (point, algorithm) cell class after this many tasks exhaust every attempt (0 = never)")
+	flag.StringVar(&o.model, "model", "", "diffusion model override: ic, lt, sir, sis (empty = figure default)")
+	flag.StringVar(&o.delay, "delay", "", "transmission-delay law override: exp, powerlaw, rayleigh (empty = figure default)")
+	flag.Float64Var(&o.delayParam, "delay-param", -1, "delay-law parameter: exp rate, power-law shape, Rayleigh sigma (negative = law default)")
+	flag.Float64Var(&o.recovery, "recovery", -1, "SIR/SIS per-round probability an infectious node stays infectious, in [0,1) (negative = keep)")
+	flag.Float64Var(&o.reinfect, "reinfect", -1, "SIS probability a recovering node returns to susceptible, in [0,1] (negative = keep)")
+	flag.Float64Var(&o.missing, "missing", -1, "missing-observation rate in [0,1] applied after simulation (negative = keep)")
+	flag.Float64Var(&o.uncertain, "uncertain", -1, "uncertain-observation rate in [0,1] applied after simulation (negative = keep)")
 	var s scaleOpts
 	registerScaleFlags(&s)
 	flag.Parse()
@@ -340,7 +367,7 @@ func run(ctx context.Context, o runOpts) (int, error) {
 		ids = experiments.FigureIDs()
 	case o.figNum != 0:
 		if _, ok := figs[o.figNum]; !ok {
-			return exitErr, fmt.Errorf("unknown figure %d (have 1..11)", o.figNum)
+			return exitErr, fmt.Errorf("unknown figure %d (have 1..15)", o.figNum)
 		}
 		ids = []int{o.figNum}
 	default:
@@ -420,10 +447,20 @@ func run(ctx context.Context, o runOpts) (int, error) {
 	var allMeasurements []experiments.Measurement
 	var total experiments.RunStats
 	interrupted := false
+	scenarioOv := experiments.ScenarioOverride{
+		Model: o.model, Delay: o.delay, DelayParam: o.delayParam,
+		Recovery: o.recovery, Reinfect: o.reinfect,
+		Missing: o.missing, Uncertain: o.uncertain,
+	}
 	for _, id := range ids {
 		fig := figs[id]
 		if algoOverride != nil {
 			fig = experiments.SelectAlgorithms(fig, algoOverride...)
+		}
+		var err error
+		fig, err = experiments.ApplyScenario(fig, scenarioOv)
+		if err != nil {
+			return exitErr, fmt.Errorf("usage: %w", err)
 		}
 		cfg := experiments.Config{
 			Seed:             o.seed,

@@ -1,7 +1,6 @@
-// Command diffsim simulates independent-cascade diffusion processes on a
-// network and writes the resulting observation files: the final infection
-// statuses (consumed by `tends`) and optionally the ground-truth graph and
-// full cascades.
+// Command diffsim simulates diffusion processes on a network and writes the
+// resulting observation files: the final infection statuses (consumed by
+// `tends`) and optionally the ground-truth graph and full cascades.
 //
 // Usage:
 //
@@ -11,6 +10,16 @@
 // When -graph is omitted, a network can be generated in place with
 // -gen lfr:3 (LFR benchmark index), -gen netsci, or -gen dunf; the
 // ground-truth graph is then written to -truth.
+//
+// Beyond the default independent-cascade model, -model selects LT, SIR or
+// SIS dynamics (-recovery, -reinfect), -delay the continuous-time
+// transmission-delay law stamped on cascade timestamps, and -missing /
+// -uncertain dirty the observations after the simulation:
+//
+//	diffsim -gen netsci -model sir -recovery 0.5 -status s.txt
+//	diffsim -gen netsci -model sis -recovery 0.5 -reinfect 0.3 -status s.txt
+//	diffsim -gen lfr:3 -delay rayleigh -cascades c.txt -status s.txt
+//	diffsim -gen lfr:3 -missing 0.2 -mask mask.txt -status s.txt
 package main
 
 import (
@@ -27,47 +36,79 @@ import (
 	"tends/internal/lfr"
 )
 
+// options carries one diffsim invocation's flag values.
+type options struct {
+	graphPath   string
+	gen         string
+	truthPath   string
+	statusPath  string
+	cascadePath string
+	maskPath    string
+	beta        int
+	alpha       float64
+	mu          float64
+	seed        int64
+	scenario    diffusion.Scenario
+}
+
 func main() {
-	var (
-		graphPath   = flag.String("graph", "", "input graph file (or use -gen)")
-		gen         = flag.String("gen", "", "generate a network instead: lfr:<1..15>, netsci, dunf")
-		truthPath   = flag.String("truth", "", "write the (generated) ground-truth graph here")
-		statusPath  = flag.String("status", "", "output status file (required)")
-		cascadePath = flag.String("cascades", "", "optional output cascade file")
-		beta        = flag.Int("beta", 150, "number of diffusion processes")
-		alpha       = flag.Float64("alpha", 0.15, "initial infection ratio")
-		mu          = flag.Float64("mu", 0.3, "mean propagation probability")
-		seed        = flag.Int64("seed", 1, "RNG seed")
-	)
+	var o options
+	var model, delay string
+	flag.StringVar(&o.graphPath, "graph", "", "input graph file (or use -gen)")
+	flag.StringVar(&o.gen, "gen", "", "generate a network instead: lfr:<1..15>, netsci, dunf")
+	flag.StringVar(&o.truthPath, "truth", "", "write the (generated) ground-truth graph here")
+	flag.StringVar(&o.statusPath, "status", "", "output status file (required)")
+	flag.StringVar(&o.cascadePath, "cascades", "", "optional output cascade file")
+	flag.StringVar(&o.maskPath, "mask", "", "optional output file for the missing-observation mask (requires -missing > 0)")
+	flag.IntVar(&o.beta, "beta", 150, "number of diffusion processes")
+	flag.Float64Var(&o.alpha, "alpha", 0.15, "initial infection ratio")
+	flag.Float64Var(&o.mu, "mu", 0.3, "mean propagation probability")
+	flag.Int64Var(&o.seed, "seed", 1, "RNG seed")
+	flag.StringVar(&model, "model", "", "diffusion model: ic (default), lt, sir, sis")
+	flag.StringVar(&delay, "delay", "", "transmission-delay law: exp (default), powerlaw, rayleigh")
+	flag.Float64Var(&o.scenario.DelayParam, "delay-param", 0, "delay-law parameter: exp rate, power-law shape, Rayleigh sigma (0 = law default)")
+	flag.Float64Var(&o.scenario.Recovery, "recovery", 0, "SIR/SIS per-round probability an infectious node stays infectious, in [0,1)")
+	flag.Float64Var(&o.scenario.Reinfection, "reinfect", 0, "SIS probability a recovering node returns to susceptible, in [0,1]")
+	flag.IntVar(&o.scenario.MaxRounds, "max-rounds", 0, "cap on simulation rounds per process (0 = model default)")
+	flag.Float64Var(&o.scenario.Missing, "missing", 0, "missing-observation rate in [0,1] applied after simulation")
+	flag.Float64Var(&o.scenario.Uncertain, "uncertain", 0, "uncertain-observation rate in [0,1] applied after simulation")
 	flag.Parse()
-	if *statusPath == "" {
+	o.scenario.Model = diffusion.Model(model)
+	o.scenario.Delay = diffusion.DelayModel(delay)
+	if o.statusPath == "" {
 		fmt.Fprintln(os.Stderr, "diffsim: -status is required")
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*graphPath, *gen, *truthPath, *statusPath, *cascadePath, *beta, *alpha, *mu, *seed); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintf(os.Stderr, "diffsim: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(graphPath, gen, truthPath, statusPath, cascadePath string, beta int, alpha, mu float64, seed int64) error {
-	g, err := loadOrGenerate(graphPath, gen, seed)
+func run(o options) error {
+	if err := o.scenario.Validate(); err != nil {
+		return err
+	}
+	if o.maskPath != "" && o.scenario.Missing == 0 {
+		return fmt.Errorf("-mask requires -missing > 0 (no mask is produced otherwise)")
+	}
+	g, err := loadOrGenerate(o.graphPath, o.gen, o.seed)
 	if err != nil {
 		return err
 	}
-	if truthPath != "" {
-		if err := writeGraphFile(truthPath, g); err != nil {
+	if o.truthPath != "" {
+		if err := writeGraphFile(o.truthPath, g); err != nil {
 			return err
 		}
 	}
-	rng := rand.New(rand.NewSource(seed + 7919))
-	ep := diffusion.NewEdgeProbs(g, mu, 0.05, rng)
-	res, err := diffusion.Simulate(ep, diffusion.Config{Alpha: alpha, Beta: beta}, rng)
+	rng := rand.New(rand.NewSource(o.seed + 7919))
+	ep := diffusion.NewEdgeProbs(g, o.mu, 0.05, rng)
+	res, err := diffusion.SimulateScenario(ep, diffusion.Config{Alpha: o.alpha, Beta: o.beta}, o.scenario, rng)
 	if err != nil {
 		return err
 	}
-	sf, err := os.Create(statusPath)
+	sf, err := os.Create(o.statusPath)
 	if err != nil {
 		return err
 	}
@@ -78,13 +119,27 @@ func run(graphPath, gen, truthPath, statusPath, cascadePath string, beta int, al
 	if err := sf.Close(); err != nil {
 		return err
 	}
-	if cascadePath != "" {
-		if err := writeCascades(cascadePath, res); err != nil {
+	if o.cascadePath != "" {
+		if err := writeCascades(o.cascadePath, res.Result); err != nil {
 			return err
 		}
 	}
-	fmt.Printf("simulated beta=%d processes on n=%d m=%d (alpha=%.2f mu=%.2f seed=%d)\n",
-		beta, g.NumNodes(), g.NumEdges(), alpha, mu, seed)
+	if o.maskPath != "" {
+		mf, err := os.Create(o.maskPath)
+		if err != nil {
+			return err
+		}
+		if err := res.MissingMask.WriteStatus(mf); err != nil {
+			mf.Close()
+			return err
+		}
+		if err := mf.Close(); err != nil {
+			return err
+		}
+	}
+	sc := o.scenario.Normalized()
+	fmt.Printf("simulated beta=%d %s processes on n=%d m=%d (alpha=%.2f mu=%.2f delay=%s missing=%.2f uncertain=%.2f seed=%d)\n",
+		o.beta, sc.Model, g.NumNodes(), g.NumEdges(), o.alpha, o.mu, sc.Delay, sc.Missing, sc.Uncertain, o.seed)
 	return nil
 }
 

@@ -15,7 +15,7 @@ func TestRunWithGeneratedLFR(t *testing.T) {
 	status := filepath.Join(dir, "s.txt")
 	truth := filepath.Join(dir, "t.txt")
 	cascades := filepath.Join(dir, "c.txt")
-	if err := run("", "lfr:1", truth, status, cascades, 20, 0.15, 0.3, 7); err != nil {
+	if err := run(options{gen: "lfr:1", truthPath: truth, statusPath: status, cascadePath: cascades, beta: 20, alpha: 0.15, mu: 0.3, seed: 7}); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	sf, err := os.Open(status)
@@ -64,7 +64,7 @@ func TestRunWithExistingGraph(t *testing.T) {
 	}
 	f.Close()
 	status := filepath.Join(dir, "s.txt")
-	if err := run(gpath, "", "", status, "", 5, 0.2, 0.5, 1); err != nil {
+	if err := run(options{graphPath: gpath, statusPath: status, beta: 5, alpha: 0.2, mu: 0.5, seed: 1}); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	if _, err := os.Stat(status); err != nil {
@@ -76,7 +76,7 @@ func TestRunDatasets(t *testing.T) {
 	dir := t.TempDir()
 	for _, gen := range []string{"netsci", "dunf"} {
 		status := filepath.Join(dir, gen+".txt")
-		if err := run("", gen, "", status, "", 3, 0.15, 0.3, 1); err != nil {
+		if err := run(options{gen: gen, statusPath: status, beta: 3, alpha: 0.15, mu: 0.3, seed: 1}); err != nil {
 			t.Fatalf("run(%s): %v", gen, err)
 		}
 	}
@@ -106,10 +106,84 @@ func TestLoadOrGenerateErrors(t *testing.T) {
 func TestRunBadSimulationParams(t *testing.T) {
 	dir := t.TempDir()
 	status := filepath.Join(dir, "s.txt")
-	if err := run("", "lfr:1", "", status, "", 0, 0.15, 0.3, 1); err == nil {
+	if err := run(options{gen: "lfr:1", statusPath: status, beta: 0, alpha: 0.15, mu: 0.3, seed: 1}); err == nil {
 		t.Fatal("beta=0 should fail")
 	}
-	if err := run("", "lfr:1", "", status, "", 5, 0, 0.3, 1); err == nil {
+	if err := run(options{gen: "lfr:1", statusPath: status, beta: 5, alpha: 0, mu: 0.3, seed: 1}); err == nil {
 		t.Fatal("alpha=0 should fail")
+	}
+}
+
+func TestRunScenarioWithMask(t *testing.T) {
+	dir := t.TempDir()
+	status := filepath.Join(dir, "s.txt")
+	mask := filepath.Join(dir, "m.txt")
+	o := options{
+		gen: "lfr:1", statusPath: status, maskPath: mask,
+		beta: 10, alpha: 0.15, mu: 0.3, seed: 3,
+		scenario: diffusion.Scenario{
+			Model: diffusion.ModelSIR, Recovery: 0.4,
+			Delay: diffusion.DelayRayleigh, Missing: 0.3,
+		},
+	}
+	if err := run(o); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	sf, err := os.Open(status)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sf.Close()
+	m, err := diffusion.ReadStatus(sf)
+	if err != nil {
+		t.Fatalf("status file unreadable: %v", err)
+	}
+	mf, err := os.Open(mask)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mf.Close()
+	mm, err := diffusion.ReadStatus(mf)
+	if err != nil {
+		t.Fatalf("mask file unreadable: %v", err)
+	}
+	if mm.Beta() != m.Beta() || mm.N() != m.N() {
+		t.Fatalf("mask dims %dx%d, statuses %dx%d", mm.Beta(), mm.N(), m.Beta(), m.N())
+	}
+	masked := 0
+	for p := 0; p < m.Beta(); p++ {
+		for v := 0; v < m.N(); v++ {
+			if mm.Get(p, v) {
+				masked++
+				if m.Get(p, v) {
+					t.Fatalf("masked cell (%d,%d) still infected", p, v)
+				}
+			}
+		}
+	}
+	if masked == 0 {
+		t.Fatal("missing rate 0.3 masked no cells")
+	}
+}
+
+func TestRunScenarioErrors(t *testing.T) {
+	dir := t.TempDir()
+	status := filepath.Join(dir, "s.txt")
+	base := options{gen: "lfr:1", statusPath: status, beta: 5, alpha: 0.15, mu: 0.3, seed: 1}
+
+	bad := base
+	bad.scenario = diffusion.Scenario{Model: "seir"}
+	if err := run(bad); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+	bad = base
+	bad.scenario = diffusion.Scenario{Recovery: 0.5}
+	if err := run(bad); err == nil {
+		t.Fatal("recovery on IC accepted")
+	}
+	bad = base
+	bad.maskPath = filepath.Join(dir, "m.txt")
+	if err := run(bad); err == nil {
+		t.Fatal("-mask without -missing accepted")
 	}
 }

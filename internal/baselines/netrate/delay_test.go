@@ -1,0 +1,127 @@
+package netrate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tends/internal/diffusion"
+	"tends/internal/graph"
+	"tends/internal/metrics"
+)
+
+func simulateScenario(t *testing.T, g *graph.Directed, mu, alpha float64, beta int, sc diffusion.Scenario, seed int64) *diffusion.Result {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	ep := diffusion.NewEdgeProbs(g, mu, 0.05, rng)
+	res, err := diffusion.SimulateScenario(ep, diffusion.Config{Alpha: alpha, Beta: beta}, sc, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Result
+}
+
+// TestInferDefaultDelayIsExponential: the zero Options and an explicit
+// exponential delay run the identical code path — same edges, same
+// weights, bit for bit.
+func TestInferDefaultDelayIsExponential(t *testing.T) {
+	g := graph.Chain(10)
+	res := simulate(t, g, 0.7, 0.1, 300, 17)
+	def, err := Infer(res, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp, err := Infer(res, Options{Delay: diffusion.DelayExponential})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(def) != len(exp) {
+		t.Fatalf("edge counts differ: %d vs %d", len(def), len(exp))
+	}
+	for k := range def {
+		if def[k].Edge != exp[k].Edge || math.Float64bits(def[k].Weight) != math.Float64bits(exp[k].Weight) {
+			t.Fatalf("edge %d differs: %+v vs %+v", k, def[k], exp[k])
+		}
+	}
+}
+
+// TestInferRecoversUnderEachDelayLaw: NetRate run with the matching
+// likelihood recovers the topology from cascades generated under each of
+// the three delay laws — its "home turf" per the ICML 2011 paper.
+func TestInferRecoversUnderEachDelayLaw(t *testing.T) {
+	for _, law := range diffusion.DelayModels() {
+		g := graph.Chain(10)
+		res := simulateScenario(t, g, 0.7, 0.1, 400, diffusion.Scenario{Delay: law}, 1)
+		preds, err := Infer(res, Options{Delay: law})
+		if err != nil {
+			t.Fatal(err)
+		}
+		best, _ := metrics.BestF(g, preds)
+		if best.F < 0.6 {
+			t.Fatalf("%s: chain best-F = %.3f (P=%.3f R=%.3f)", law, best.F, best.Precision, best.Recall)
+		}
+	}
+}
+
+// TestInferDelayDeterministicAcrossWorkers: the weighted (non-exponential)
+// solve is embarrassingly parallel like the exponential one — identical
+// weighted edges at any worker count.
+func TestInferDelayDeterministicAcrossWorkers(t *testing.T) {
+	g := graph.BalancedTree(15, 2)
+	for _, law := range []diffusion.DelayModel{diffusion.DelayRayleigh, diffusion.DelayPowerLaw} {
+		res := simulateScenario(t, g, 0.7, 0.07, 200, diffusion.Scenario{Delay: law}, 5)
+		var ref []metrics.WeightedEdge
+		for _, workers := range []int{1, 4} {
+			preds, err := Infer(res, Options{Delay: law, Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ref == nil {
+				ref = preds
+				continue
+			}
+			if len(preds) != len(ref) {
+				t.Fatalf("%s: workers=%d edge count %d, want %d", law, workers, len(preds), len(ref))
+			}
+			for k := range preds {
+				if preds[k].Edge != ref[k].Edge || math.Float64bits(preds[k].Weight) != math.Float64bits(ref[k].Weight) {
+					t.Fatalf("%s: workers=%d edge %d differs", law, workers, k)
+				}
+			}
+		}
+	}
+}
+
+// TestInferPowerLawWindowSkipsShortDelays: with a window larger than every
+// observed delay, no pair carries hazard and nothing is inferred — the
+// δ-floor semantics of the power-law family.
+func TestInferPowerLawWindowSkipsShortDelays(t *testing.T) {
+	g := graph.Chain(8)
+	res := simulateScenario(t, g, 0.8, 0.13, 200, diffusion.Scenario{Delay: diffusion.DelayPowerLaw}, 9)
+	maxT := 0.0
+	for _, c := range res.Cascades {
+		for _, inf := range c.Infections {
+			if inf.Time > maxT {
+				maxT = inf.Time
+			}
+		}
+	}
+	preds, err := Infer(res, Options{Delay: diffusion.DelayPowerLaw, PowerLawDelta: maxT + 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(preds) != 0 {
+		t.Fatalf("window beyond horizon still inferred %d edges", len(preds))
+	}
+}
+
+func TestInferDelayErrors(t *testing.T) {
+	g := graph.Chain(5)
+	res := simulate(t, g, 0.7, 0.2, 50, 3)
+	if _, err := Infer(res, Options{Delay: "weibull"}); err == nil {
+		t.Fatal("unknown delay model accepted")
+	}
+	if _, err := Infer(res, Options{Delay: diffusion.DelayPowerLaw, PowerLawDelta: -1}); err == nil {
+		t.Fatal("negative delta accepted")
+	}
+}

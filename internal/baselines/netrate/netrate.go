@@ -18,6 +18,21 @@
 // which preserves non-negativity, increases the likelihood monotonically,
 // and converges to the global optimum of this concave program.
 //
+// The paper derives the same decomposition for three parametric delay
+// families; Options.Delay selects which one the survival terms assume.
+// With delay Δ = t_i − t_j, each family contributes an integrated hazard
+// D(Δ) (the linear coefficient d_j accrues per exposure) and a hazard
+// weight h(Δ) (the factor multiplying α_j inside the log term):
+//
+//	exponential: D(Δ) = Δ        h(Δ) = 1
+//	rayleigh:    D(Δ) = Δ²/2     h(Δ) = Δ
+//	power law:   D(Δ) = ln(Δ/δ)  h(Δ) = 1/Δ   for Δ > δ; no hazard below δ
+//
+// and the EM fixed point becomes α_j ← (Σ_c α_j·h_{c,j} / S_c) / d_j with
+// S_c = Σ_j α_j·h_{c,j}. The exponential family reduces to the original
+// update and shares its exact code path, keeping fixed-seed results
+// byte-identical to the pre-generalization solver.
+//
 // NetRate produces weighted predictions; as in the paper, the evaluation
 // gives it best-F threshold treatment (metrics.BestF).
 package netrate
@@ -54,7 +69,26 @@ type Options struct {
 	// solved from the same read-only inputs into its own output slot, so
 	// the inferred edges are identical at any worker count.
 	Workers int
+	// Delay selects the transmission-delay family the survival likelihood
+	// is derived for (see the package comment); "" means exponential, the
+	// historical behavior. Match it to the process that generated the
+	// cascades (diffusion.Scenario.Delay) to evaluate NetRate on its own
+	// model assumptions.
+	Delay diffusion.DelayModel
+	// PowerLawDelta is the power-law window δ: delays of at most δ are
+	// impossible under the Pareto density, so such pairs carry no hazard.
+	// 0 means 1, the simulator's fixed Pareto scale. Only meaningful with
+	// Delay == diffusion.DelayPowerLaw.
+	PowerLawDelta float64
 }
+
+// Delay-family dispatch for the hot per-node solve; exponential keeps the
+// exact historical code path.
+const (
+	modeExp = iota
+	modeRayleigh
+	modePowerLaw
+)
 
 func (o Options) withDefaults() Options {
 	if o.Iterations == 0 {
@@ -66,7 +100,25 @@ func (o Options) withDefaults() Options {
 	if o.MinRate == 0 {
 		o.MinRate = 1e-6
 	}
+	if o.Delay == "" {
+		o.Delay = diffusion.DelayExponential
+	}
+	if o.PowerLawDelta == 0 {
+		o.PowerLawDelta = 1
+	}
 	return o
+}
+
+func delayMode(d diffusion.DelayModel) (int, error) {
+	switch d {
+	case diffusion.DelayExponential:
+		return modeExp, nil
+	case diffusion.DelayRayleigh:
+		return modeRayleigh, nil
+	case diffusion.DelayPowerLaw:
+		return modePowerLaw, nil
+	}
+	return 0, fmt.Errorf("netrate: unknown delay model %q (have exp, powerlaw, rayleigh)", d)
 }
 
 // Infer estimates transmission rates from cascades and returns the inferred
@@ -96,6 +148,13 @@ func InferContext(ctx context.Context, res *diffusion.Result, opt Options) ([]me
 	if opt.Iterations < 0 {
 		return nil, fmt.Errorf("netrate: negative Iterations")
 	}
+	mode, err := delayMode(opt.Delay)
+	if err != nil {
+		return nil, err
+	}
+	if opt.PowerLawDelta < 0 {
+		return nil, fmt.Errorf("netrate: negative PowerLawDelta %v", opt.PowerLawDelta)
+	}
 	n := res.N
 
 	// Precompute per-cascade infection times and horizons.
@@ -121,7 +180,7 @@ func InferContext(ctx context.Context, res *diffusion.Result, opt Options) ([]me
 			if i >= n {
 				return
 			}
-			rates, srcs := solveNode(ctx, i, res, times, horizon, opt, itersC, sc)
+			rates, srcs := solveNode(ctx, i, res, times, horizon, opt, mode, itersC, sc)
 			nodesC.Inc()
 			var edges []metrics.WeightedEdge
 			for k, a := range rates {
@@ -181,8 +240,9 @@ type nodeScratch struct {
 	rates []float64 // compact rates; 0 marks an ineligible source
 	acc   []float64 // compact EM responsibilities
 
-	psBuf []int32 // flattened parent sets (compact indices after remapping)
-	psOff []int32 // parent-set spans into psBuf, len sets+1
+	psBuf []int32   // flattened parent sets (compact indices after remapping)
+	psOff []int32   // parent-set spans into psBuf, len sets+1
+	psW   []float64 // hazard weights h(Δ) aligned with psBuf; unused (empty) in exp mode
 }
 
 func newNodeScratch(n int) *nodeScratch {
@@ -197,11 +257,15 @@ func newNodeScratch(n int) *nodeScratch {
 // returning compact rate and source-id slices (aliasing sc, valid until the
 // next call). A cancelled context stops the EM iterations early; the caller
 // discards the partial rates.
-func solveNode(ctx context.Context, i int, res *diffusion.Result, times [][]float64, horizon []float64, opt Options, itersC *obs.Counter, sc *nodeScratch) ([]float64, []int) {
-	// Accumulate each source's total exposure duration toward i across
+func solveNode(ctx context.Context, i int, res *diffusion.Result, times [][]float64, horizon []float64, opt Options, mode int, itersC *obs.Counter, sc *nodeScratch) ([]float64, []int) {
+	// Accumulate each source's total integrated hazard D(Δ) toward i across
 	// cascades into the dense array, and record the potential parent sets
-	// (by node id for now) of the cascades that infected i.
-	sc.psBuf, sc.psOff = sc.psBuf[:0], append(sc.psOff[:0], 0)
+	// (by node id for now, with their hazard weights h(Δ) in non-exp modes)
+	// of the cascades that infected i. Under the power law a pair with
+	// Δ ≤ δ carries no hazard at all — it is skipped entirely, neither
+	// accruing exposure nor entering the parent set.
+	sc.psBuf, sc.psOff, sc.psW = sc.psBuf[:0], append(sc.psOff[:0], 0), sc.psW[:0]
+	delta0 := opt.PowerLawDelta
 	touched := 0
 	for ci := range res.Cascades {
 		ti := times[ci][i]
@@ -214,11 +278,24 @@ func solveNode(ctx context.Context, i int, res *diffusion.Result, times [][]floa
 				if j == i || tj < 0 || tj >= ti {
 					continue
 				}
+				delta := ti - tj
+				switch mode {
+				case modeExp:
+					sc.dAll[j] += delta
+				case modeRayleigh:
+					sc.dAll[j] += delta * delta / 2
+					sc.psW = append(sc.psW, delta)
+				case modePowerLaw:
+					if delta <= delta0 {
+						continue
+					}
+					sc.dAll[j] += math.Log(delta / delta0)
+					sc.psW = append(sc.psW, 1/delta)
+				}
 				if !sc.seen[j] {
 					sc.seen[j] = true
 					touched++
 				}
-				sc.dAll[j] += ti - tj
 				sc.psBuf = append(sc.psBuf, int32(j))
 			}
 			if len(sc.psBuf) > before {
@@ -231,11 +308,22 @@ func solveNode(ctx context.Context, i int, res *diffusion.Result, times [][]floa
 				if j == i || tj < 0 {
 					continue
 				}
+				delta := horizon[ci] - tj
+				switch mode {
+				case modeExp:
+					sc.dAll[j] += delta
+				case modeRayleigh:
+					sc.dAll[j] += delta * delta / 2
+				case modePowerLaw:
+					if delta <= delta0 {
+						continue
+					}
+					sc.dAll[j] += math.Log(delta / delta0)
+				}
 				if !sc.seen[j] {
 					sc.seen[j] = true
 					touched++
 				}
-				sc.dAll[j] += horizon[ci] - tj
 			}
 		}
 	}
@@ -285,23 +373,43 @@ func solveNode(ctx context.Context, i int, res *diffusion.Result, times [][]floa
 	acc := sc.acc[:len(rates)]
 	for iter := 0; iter < opt.Iterations && ctx.Err() == nil; iter++ {
 		itersC.Inc()
-		// Responsibilities: acc[k] = Σ_c α_k / S_c over cascades where k
-		// is a potential parent of i.
+		// Responsibilities: acc[k] = Σ_c α_k·h_{c,k} / S_c over cascades
+		// where k is a potential parent of i; h ≡ 1 in the exponential
+		// family, whose loop below is the original unweighted code path.
 		for k := range acc {
 			acc[k] = 0
 		}
-		for si := 0; si+1 < len(sc.psOff); si++ {
-			ps := sc.psBuf[sc.psOff[si]:sc.psOff[si+1]]
-			var s float64
-			for _, k := range ps {
-				s += rates[k]
+		if mode == modeExp {
+			for si := 0; si+1 < len(sc.psOff); si++ {
+				ps := sc.psBuf[sc.psOff[si]:sc.psOff[si+1]]
+				var s float64
+				for _, k := range ps {
+					s += rates[k]
+				}
+				if s <= 0 {
+					continue
+				}
+				for _, k := range ps {
+					if a := rates[k]; a > 0 {
+						acc[k] += a / s
+					}
+				}
 			}
-			if s <= 0 {
-				continue
-			}
-			for _, k := range ps {
-				if a := rates[k]; a > 0 {
-					acc[k] += a / s
+		} else {
+			for si := 0; si+1 < len(sc.psOff); si++ {
+				lo, hi := sc.psOff[si], sc.psOff[si+1]
+				ps, ws := sc.psBuf[lo:hi], sc.psW[lo:hi]
+				var s float64
+				for x, k := range ps {
+					s += rates[k] * ws[x]
+				}
+				if s <= 0 {
+					continue
+				}
+				for x, k := range ps {
+					if a := rates[k] * ws[x]; a > 0 {
+						acc[k] += a / s
+					}
 				}
 			}
 		}
@@ -326,9 +434,10 @@ func solveNode(ctx context.Context, i int, res *diffusion.Result, times [][]floa
 	return rates, sc.srcs
 }
 
-// LogLikelihood evaluates the NetRate objective Σ_i L_i(α) for a given set
-// of transmission rates over the observed cascades — a diagnostic for
-// checking solver convergence (the EM must increase it monotonically).
+// LogLikelihood evaluates the exponential-family NetRate objective
+// Σ_i L_i(α) for a given set of transmission rates over the observed
+// cascades — a diagnostic for checking solver convergence (the EM must
+// increase it monotonically when solving under Options.Delay == exp).
 // Rates absent from the map are treated as zero.
 func LogLikelihood(res *diffusion.Result, rates map[graph.Edge]float64) float64 {
 	n := res.N

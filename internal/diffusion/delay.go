@@ -1,0 +1,137 @@
+package diffusion
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// DelayModel names a continuous-time transmission-delay law. These are the
+// three parametric models of Gomez-Rodriguez et al., "Uncovering the
+// Temporal Dynamics of Diffusion Networks" — the models NetRate's survival
+// likelihood is derived for — so cascades generated under any of them give
+// the timestamp-based baselines data matching their own assumptions.
+type DelayModel string
+
+const (
+	// DelayExponential is the memoryless law f(t) ∝ e^{-λt}. It is the
+	// repository default and reproduces the historical simulator behavior:
+	// with the default rate λ=1 the sampler draws exactly rng.ExpFloat64(),
+	// byte-identical to the pre-scenario-engine trace sequence.
+	DelayExponential DelayModel = "exp"
+	// DelayPowerLaw is a Pareto law with scale 1 and shape a:
+	// f(t) ∝ t^{-(a+1)} for t ≥ 1 — heavy-tailed delays where a few
+	// transmissions take far longer than the mode.
+	DelayPowerLaw DelayModel = "powerlaw"
+	// DelayRayleigh is the Rayleigh law f(t) ∝ t·e^{-t²/(2σ²)} — delays
+	// concentrated around σ with a sub-exponential tail, the "epidemic"
+	// variant of the NetRate paper.
+	DelayRayleigh DelayModel = "rayleigh"
+)
+
+// DelayModels lists the supported laws in canonical order.
+func DelayModels() []DelayModel {
+	return []DelayModel{DelayExponential, DelayPowerLaw, DelayRayleigh}
+}
+
+// ParseDelayModel maps a CLI/config string to a DelayModel. The empty
+// string is the exponential default.
+func ParseDelayModel(s string) (DelayModel, error) {
+	switch DelayModel(s) {
+	case "", DelayExponential:
+		return DelayExponential, nil
+	case DelayPowerLaw:
+		return DelayPowerLaw, nil
+	case DelayRayleigh:
+		return DelayRayleigh, nil
+	}
+	return "", fmt.Errorf("diffusion: unknown delay model %q (have exp, powerlaw, rayleigh)", s)
+}
+
+// DelaySampler draws continuous transmission delays for one delay law. A
+// child infected by a parent with timestamp t_u is stamped t_u plus one
+// Sample draw, so samples must be non-negative and finite for every RNG
+// state — fuzzed invariants the simulator relies on to keep cascade
+// timestamps monotone along parent chains.
+type DelaySampler interface {
+	// Law identifies the sampler's delay model.
+	Law() DelayModel
+	// Sample draws one transmission delay.
+	Sample(rng *rand.Rand) float64
+}
+
+// NewDelaySampler builds the sampler for a delay law. param is the law's
+// single shape parameter — exponential rate λ, power-law (Pareto) shape a,
+// or Rayleigh scale σ — with 0 selecting the default (λ=1, a=2, σ=1).
+// Negative, NaN, or infinite parameters are rejected.
+func NewDelaySampler(law DelayModel, param float64) (DelaySampler, error) {
+	if param < 0 || math.IsNaN(param) || math.IsInf(param, 0) {
+		return nil, fmt.Errorf("diffusion: delay parameter %v must be positive and finite", param)
+	}
+	switch law {
+	case "", DelayExponential:
+		if param == 0 {
+			param = 1
+		}
+		return expDelay{rate: param}, nil
+	case DelayPowerLaw:
+		if param == 0 {
+			param = 2
+		}
+		return powerLawDelay{shape: param}, nil
+	case DelayRayleigh:
+		if param == 0 {
+			param = 1
+		}
+		return rayleighDelay{sigma: param}, nil
+	}
+	return nil, fmt.Errorf("diffusion: unknown delay model %q (have exp, powerlaw, rayleigh)", law)
+}
+
+// finiteDelay caps an overflowed draw at MaxFloat64. Extreme but valid
+// parameters (a Rayleigh σ near 1e308, a denormal exponential rate, a
+// power-law shape near zero) can push the inverse-transform algebra to
+// +Inf; the samplers' contract is finite draws, and the cap only ever
+// rewrites +Inf, so byte-identity at ordinary parameters is unaffected.
+func finiteDelay(x float64) float64 {
+	if math.IsInf(x, 1) {
+		return math.MaxFloat64
+	}
+	return x
+}
+
+// expDelay draws Exp(rate) delays. At the default rate 1 it consumes and
+// returns exactly rng.ExpFloat64() — the simulator's historical draw — so
+// the exponential scenario path is byte-identical to the legacy one.
+type expDelay struct{ rate float64 }
+
+func (expDelay) Law() DelayModel { return DelayExponential }
+
+func (d expDelay) Sample(rng *rand.Rand) float64 {
+	x := rng.ExpFloat64()
+	if d.rate != 1 {
+		x /= d.rate
+	}
+	return finiteDelay(x)
+}
+
+// powerLawDelay draws Pareto(scale=1, shape) delays by inverse transform:
+// X = (1-U)^{-1/shape}. Using 1-U (in (0,1] for U ~ [0,1)) instead of U
+// keeps every draw finite: U=0 would otherwise map to +Inf.
+type powerLawDelay struct{ shape float64 }
+
+func (powerLawDelay) Law() DelayModel { return DelayPowerLaw }
+
+func (d powerLawDelay) Sample(rng *rand.Rand) float64 {
+	return finiteDelay(math.Pow(1-rng.Float64(), -1/d.shape))
+}
+
+// rayleighDelay draws Rayleigh(sigma) delays by inverse transform:
+// X = σ·sqrt(-2·ln(1-U)), finite for 1-U in (0,1].
+type rayleighDelay struct{ sigma float64 }
+
+func (rayleighDelay) Law() DelayModel { return DelayRayleigh }
+
+func (d rayleighDelay) Sample(rng *rand.Rand) float64 {
+	return finiteDelay(d.sigma * math.Sqrt(-2*math.Log(1-rng.Float64())))
+}

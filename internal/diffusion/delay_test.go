@@ -1,0 +1,168 @@
+package diffusion
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestExpSamplerMatchesLegacySequence: the default exponential sampler is
+// the historical inline rng.ExpFloat64() call — same draws, same bits —
+// which is what keeps every pre-scenario fixed-seed trace byte-identical.
+func TestExpSamplerMatchesLegacySequence(t *testing.T) {
+	s, err := NewDelaySampler(DelayExponential, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := rand.New(rand.NewSource(9)), rand.New(rand.NewSource(9))
+	for i := 0; i < 10000; i++ {
+		got, want := s.Sample(a), b.ExpFloat64()
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("draw %d: %v vs legacy %v", i, got, want)
+		}
+	}
+}
+
+func drawN(t *testing.T, law DelayModel, param float64, n int, seed int64) []float64 {
+	t.Helper()
+	s, err := NewDelaySampler(law, param)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Law() != law {
+		t.Fatalf("sampler reports law %q, want %q", s.Law(), law)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = s.Sample(rng)
+	}
+	return xs
+}
+
+func mean(xs []float64) float64 {
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+func quantile(xs []float64, q float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return s[int(q*float64(len(s)))]
+}
+
+func within(t *testing.T, name string, got, want, relTol float64) {
+	t.Helper()
+	if math.Abs(got-want) > relTol*want {
+		t.Fatalf("%s = %v, want %v ± %v%%", name, got, want, relTol*100)
+	}
+}
+
+// TestDelaySamplerStatistics checks empirical moments/quantiles of each law
+// against closed forms at a fixed seed. The power law uses quantiles, not
+// the mean: Pareto with shape 2 has infinite variance, so its sample mean
+// converges far too slowly to test.
+func TestDelaySamplerStatistics(t *testing.T) {
+	const n = 200000
+	t.Run("exp", func(t *testing.T) {
+		xs := drawN(t, DelayExponential, 0, n, 101)
+		within(t, "mean", mean(xs), 1, 0.02)
+		within(t, "median", quantile(xs, 0.5), math.Ln2, 0.02)
+		xs2 := drawN(t, DelayExponential, 2, n, 102)
+		within(t, "mean(rate=2)", mean(xs2), 0.5, 0.02)
+	})
+	t.Run("powerlaw", func(t *testing.T) {
+		xs := drawN(t, DelayPowerLaw, 0, n, 103) // default shape 2
+		for _, x := range xs {
+			if x < 1 {
+				t.Fatalf("Pareto draw %v below scale 1", x)
+			}
+		}
+		within(t, "median", quantile(xs, 0.5), math.Sqrt2, 0.02)
+		within(t, "q90", quantile(xs, 0.9), math.Sqrt(10), 0.05)
+		xs4 := drawN(t, DelayPowerLaw, 4, n, 104)
+		within(t, "median(shape=4)", quantile(xs4, 0.5), math.Pow(2, 0.25), 0.02)
+	})
+	t.Run("rayleigh", func(t *testing.T) {
+		xs := drawN(t, DelayRayleigh, 0, n, 105) // default sigma 1
+		within(t, "mean", mean(xs), math.Sqrt(math.Pi/2), 0.02)
+		within(t, "median", quantile(xs, 0.5), math.Sqrt(2*math.Ln2), 0.02)
+		xs3 := drawN(t, DelayRayleigh, 3, n, 106)
+		within(t, "mean(sigma=3)", mean(xs3), 3*math.Sqrt(math.Pi/2), 0.02)
+	})
+}
+
+func TestNewDelaySamplerErrors(t *testing.T) {
+	bad := []struct {
+		law   DelayModel
+		param float64
+	}{
+		{"gamma", 0},
+		{DelayExponential, -1},
+		{DelayPowerLaw, math.NaN()},
+		{DelayRayleigh, math.Inf(1)},
+	}
+	for _, tc := range bad {
+		if _, err := NewDelaySampler(tc.law, tc.param); err == nil {
+			t.Fatalf("NewDelaySampler(%q, %v) accepted", tc.law, tc.param)
+		}
+	}
+}
+
+func TestParseDelayModel(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want DelayModel
+		ok   bool
+	}{
+		{"", DelayExponential, true},
+		{"exp", DelayExponential, true},
+		{"powerlaw", DelayPowerLaw, true},
+		{"rayleigh", DelayRayleigh, true},
+		{"EXP", "", false},
+		{"weibull", "", false},
+	} {
+		got, err := ParseDelayModel(tc.in)
+		if tc.ok && (err != nil || got != tc.want) {
+			t.Fatalf("ParseDelayModel(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+		if !tc.ok && err == nil {
+			t.Fatalf("ParseDelayModel(%q) accepted", tc.in)
+		}
+	}
+}
+
+// TestScenarioDelayLawsProduceValidTraces: every law yields cascades whose
+// timestamps are finite and non-decreasing from parent to child — the
+// contract NetRate's survival likelihood depends on.
+func TestScenarioDelayLawsProduceValidTraces(t *testing.T) {
+	ep := scenarioNetwork(t, 81, 82)
+	for _, law := range DelayModels() {
+		res, err := SimulateScenario(ep, Config{Alpha: 0.15, Beta: 30}, Scenario{Delay: law}, rand.New(rand.NewSource(7)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for p, c := range res.Cascades {
+			times := make(map[int]float64)
+			for _, inf := range c.Infections {
+				if math.IsNaN(inf.Time) || math.IsInf(inf.Time, 0) || inf.Time < 0 {
+					t.Fatalf("%s process %d: bad timestamp %v", law, p, inf.Time)
+				}
+				if inf.Parent >= 0 {
+					pt, ok := times[inf.Parent]
+					if !ok {
+						t.Fatalf("%s process %d: parent %d infected after child", law, p, inf.Parent)
+					}
+					if inf.Time < pt {
+						t.Fatalf("%s process %d: child time %v before parent time %v", law, p, inf.Time, pt)
+					}
+				}
+				times[inf.Node] = inf.Time
+			}
+		}
+	}
+}

@@ -27,9 +27,7 @@ import (
 	"fmt"
 	"math/rand"
 
-	"tends/internal/chaos"
 	"tends/internal/graph"
-	"tends/internal/obs"
 	"tends/internal/stats"
 )
 
@@ -190,55 +188,19 @@ func Simulate(ep *EdgeProbs, cfg Config, rng *rand.Rand) (*Result, error) {
 // never cancelled (it is cheap relative to inference, and partial
 // observation data is useless); the context only carries the observability
 // recorder (see internal/obs), which tallies processes, infections and
-// diffusion rounds and times the whole run. Results are identical to
-// Simulate's for the same inputs.
+// diffusion rounds and times the whole run, and the chaos injector.
+// Results are identical to Simulate's for the same inputs.
+//
+// It is the zero-Scenario entry point of the scenario engine (see
+// SimulateScenarioContext): independent cascade, unit exponential delays,
+// clean observations — the RNG draw sequence is unchanged from before the
+// engine existed, which the golden fixtures and the map-oracle test pin.
 func SimulateContext(ctx context.Context, ep *EdgeProbs, cfg Config, rng *rand.Rand) (*Result, error) {
-	if err := chaos.Maybe(ctx, chaos.SiteSimulate); err != nil {
+	sr, err := SimulateScenarioContext(ctx, ep, cfg, Scenario{}, rng)
+	if err != nil {
 		return nil, err
 	}
-	rec := obs.From(ctx)
-	defer rec.StartSpan("diffusion/simulate").End()
-	procC := rec.Counter("diffusion/processes")
-	infC := rec.Counter("diffusion/infections")
-	roundC := rec.Counter("diffusion/rounds")
-	n := ep.g.NumNodes()
-	if n == 0 {
-		return nil, fmt.Errorf("diffusion: empty network")
-	}
-	if cfg.Beta <= 0 {
-		return nil, fmt.Errorf("diffusion: Beta must be positive, got %d", cfg.Beta)
-	}
-	if cfg.Alpha <= 0 || cfg.Alpha > 1 {
-		return nil, fmt.Errorf("diffusion: Alpha %v outside (0,1]", cfg.Alpha)
-	}
-	numSeeds := int(cfg.Alpha*float64(n) + 0.5)
-	if numSeeds < 1 {
-		numSeeds = 1
-	}
-	if numSeeds > n {
-		numSeeds = n
-	}
-	res := &Result{
-		N:        n,
-		Statuses: NewStatusMatrix(cfg.Beta, n),
-		Cascades: make([]Cascade, cfg.Beta),
-	}
-	sc := newSimScratch(n)
-	for proc := 0; proc < cfg.Beta; proc++ {
-		cascade := runProcess(ep, numSeeds, rng, sc)
-		res.Cascades[proc] = cascade
-		for _, inf := range cascade.Infections {
-			res.Statuses.Set(proc, inf.Node, true)
-		}
-		procC.Inc()
-		infC.Add(int64(len(cascade.Infections)))
-		// Infections are appended in round order, so the last one carries
-		// the process's final round.
-		if len(cascade.Infections) > 0 {
-			roundC.Add(int64(cascade.Infections[len(cascade.Infections)-1].Round))
-		}
-	}
-	return res, nil
+	return sr.Result, nil
 }
 
 // simScratch holds the per-process working state of runProcess, allocated
@@ -250,6 +212,7 @@ type simScratch struct {
 	times    []float64 // valid only for nodes infected in the current process
 	frontier []int
 	next     []int
+	state    []uint8 // S/I/R compartments; allocated only for SIR/SIS runs
 }
 
 func newSimScratch(n int) *simScratch {
@@ -263,7 +226,7 @@ func newSimScratch(n int) *simScratch {
 }
 
 // runProcess executes a single independent-cascade process.
-func runProcess(ep *EdgeProbs, numSeeds int, rng *rand.Rand, sc *simScratch) Cascade {
+func runProcess(ep *EdgeProbs, numSeeds int, delay DelaySampler, rng *rand.Rand, sc *simScratch) Cascade {
 	n := len(sc.perm)
 	// In-place Fisher–Yates with the same Intn draw sequence as rng.Perm(n)
 	// — including the i=0 self-swap draw rand.Perm makes — so fixed-seed
@@ -300,9 +263,10 @@ func runProcess(ep *EdgeProbs, numSeeds int, rng *rand.Rand, sc *simScratch) Cas
 				}
 				if rng.Float64() < ep.probs[k] {
 					infected[v] = true
-					// Continuous time: parent's time plus an exponential
-					// transmission delay, the model NetRate assumes.
-					t := tu + rng.ExpFloat64()
+					// Continuous time: parent's time plus one transmission
+					// delay — exponential by default, the model NetRate
+					// assumes; see DelaySampler for the alternatives.
+					t := tu + delay.Sample(rng)
 					times[v] = t
 					cascade.Infections = append(cascade.Infections, Infection{Node: v, Round: round, Time: t, Parent: u})
 					next = append(next, v)

@@ -10,9 +10,33 @@ import (
 // robustness to unreliable monitoring (false positives from misdiagnosis,
 // false negatives from asymptomatic infections). flip must be in [0, 1];
 // flip == 1 deterministically inverts every cell.
+//
+// Composition with missingness: Corrupt models noise in the reports that
+// observers actually make, so it must not resurrect cells that were never
+// reported at all. When a run also has missing observations (Mask, or the
+// scenario engine's Missing stage), apply noise through CorruptMasked with
+// the missing-cell mask — masked cells stay unreported no matter what the
+// flip coin says. Calling plain Corrupt after Mask instead would turn
+// missing cells into false positives at the flip rate, silently converting
+// missingness into noise.
 func Corrupt(m *StatusMatrix, flip float64, rng *rand.Rand) (*StatusMatrix, error) {
+	return CorruptMasked(m, nil, flip, rng)
+}
+
+// CorruptMasked is Corrupt restricted to reported cells: cells set in mask
+// (missing observations) are never flipped and stay uninfected in the
+// output — missingness always wins over noise. The flip coin is still
+// consumed for every cell in row-major order, so at a fixed seed the flip
+// pattern on reported cells is identical whether or not a mask is present
+// (and CorruptMasked(m, nil, ...) ≡ Corrupt(m, ...) byte-for-byte, as is
+// an empty mask). mask may be nil; otherwise its dimensions must match m.
+func CorruptMasked(m, mask *StatusMatrix, flip float64, rng *rand.Rand) (*StatusMatrix, error) {
 	if flip < 0 || flip > 1 {
 		return nil, fmt.Errorf("diffusion: flip probability %v outside [0,1]", flip)
+	}
+	if mask != nil && (mask.Beta() != m.Beta() || mask.N() != m.N()) {
+		return nil, fmt.Errorf("diffusion: mask dimensions %dx%d do not match matrix %dx%d",
+			mask.Beta(), mask.N(), m.Beta(), m.N())
 	}
 	out := NewStatusMatrix(m.Beta(), m.N())
 	for p := 0; p < m.Beta(); p++ {
@@ -20,6 +44,9 @@ func Corrupt(m *StatusMatrix, flip float64, rng *rand.Rand) (*StatusMatrix, erro
 			s := m.Get(p, v)
 			if rng.Float64() < flip {
 				s = !s
+			}
+			if mask != nil && mask.Get(p, v) {
+				continue
 			}
 			out.Set(p, v, s)
 		}
@@ -68,6 +95,10 @@ func PerturbTimestamps(res *Result, sigma float64, rng *rand.Rand) (*Result, err
 // Mask returns a copy of the status matrix where each cell is *erased*
 // (forced to uninfected) with probability drop — the missing-observation
 // model where some nodes are simply never surveyed in some processes.
+// To combine missingness with observation noise, corrupt the reported
+// cells with CorruptMasked (noise never resurrects an unreported cell);
+// the scenario engine's Missing stage additionally returns the mask of
+// erased cells, which Mask itself does not.
 func Mask(m *StatusMatrix, drop float64, rng *rand.Rand) (*StatusMatrix, error) {
 	if drop < 0 || drop >= 1 {
 		return nil, fmt.Errorf("diffusion: drop probability %v outside [0,1)", drop)

@@ -1,7 +1,7 @@
 package diffusion
 
 import (
-	"fmt"
+	"context"
 	"math/rand"
 	"sort"
 )
@@ -18,18 +18,20 @@ import (
 // robustness to model mismatch; the experiments use this to test the
 // paper's applicability claim beyond the IC processes it evaluates on.
 func SimulateLT(ep *EdgeProbs, cfg Config, rng *rand.Rand) (*Result, error) {
+	sr, err := SimulateScenarioContext(context.Background(), ep, cfg, Scenario{Model: ModelLT}, rng)
+	if err != nil {
+		return nil, err
+	}
+	return sr.Result, nil
+}
+
+// ltInWeights computes each node's normalized in-weights: the propagation
+// probabilities of ep scaled per node so in-weights sum to at most 1 (the
+// standard LT normalization). Built once per simulation, shared read-only
+// across its β processes.
+func ltInWeights(ep *EdgeProbs) []map[int]float64 {
 	g := ep.Graph()
 	n := g.NumNodes()
-	if n == 0 {
-		return nil, fmt.Errorf("diffusion: empty network")
-	}
-	if cfg.Beta <= 0 {
-		return nil, fmt.Errorf("diffusion: Beta must be positive, got %d", cfg.Beta)
-	}
-	if cfg.Alpha <= 0 || cfg.Alpha > 1 {
-		return nil, fmt.Errorf("diffusion: Alpha %v outside (0,1]", cfg.Alpha)
-	}
-	// Per-node normalized in-weights.
 	weights := make([]map[int]float64, n)
 	for v := 0; v < n; v++ {
 		parents := g.Parents(v)
@@ -50,33 +52,13 @@ func SimulateLT(ep *EdgeProbs, cfg Config, rng *rand.Rand) (*Result, error) {
 		}
 		weights[v] = w
 	}
-
-	numSeeds := int(cfg.Alpha*float64(n) + 0.5)
-	if numSeeds < 1 {
-		numSeeds = 1
-	}
-	if numSeeds > n {
-		numSeeds = n
-	}
-	res := &Result{
-		N:        n,
-		Statuses: NewStatusMatrix(cfg.Beta, n),
-		Cascades: make([]Cascade, cfg.Beta),
-	}
-	for proc := 0; proc < cfg.Beta; proc++ {
-		cascade := runLTProcess(g, weights, numSeeds, rng)
-		res.Cascades[proc] = cascade
-		for _, inf := range cascade.Infections {
-			res.Statuses.Set(proc, inf.Node, true)
-		}
-	}
-	return res, nil
+	return weights
 }
 
 func runLTProcess(g interface {
 	NumNodes() int
 	Parents(int) []int
-}, weights []map[int]float64, numSeeds int, rng *rand.Rand) Cascade {
+}, weights []map[int]float64, numSeeds int, delay DelaySampler, rng *rand.Rand) Cascade {
 	n := g.NumNodes()
 	thresholds := make([]float64, n)
 	for v := range thresholds {
@@ -124,7 +106,7 @@ func runLTProcess(g interface {
 			if accum[v] >= thresholds[v] {
 				u := touched[v]
 				infected[v] = true
-				t := times[u] + rng.ExpFloat64()
+				t := times[u] + delay.Sample(rng)
 				times[v] = t
 				cascade.Infections = append(cascade.Infections, Infection{Node: v, Round: round, Time: t, Parent: u})
 				next = append(next, v)

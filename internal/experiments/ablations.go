@@ -172,5 +172,5 @@ func TreeModelAblation(w *AblationWorkload) ([]AblationResult, error) {
 // simulateWorkload mirrors the figure runner's data generation so that
 // ablations and figures share the same protocol.
 func simulateWorkload(w Workload, g *graph.Directed, seed int64) (*diffusion.Result, error) {
-	return simulate(context.Background(), g, w.Mu, w.Alpha, w.Beta, seed)
+	return simulate(context.Background(), g, w, seed)
 }

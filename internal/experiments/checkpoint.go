@@ -51,6 +51,13 @@ type journalCell struct {
 	FailedRepeats int     `json:"failed_repeats"`
 	DegradedNodes int     `json:"degraded_nodes,omitempty"`
 	Error         string  `json:"error,omitempty"`
+	// Scenario identity (see Measurement); omitempty keeps legacy clean-IC
+	// records byte-identical to journals from before scenario support, and
+	// WriteCSV re-normalizes the empty values on output.
+	Model     string  `json:"model,omitempty"`
+	Delay     string  `json:"delay,omitempty"`
+	Missing   float64 `json:"missing,omitempty"`
+	Uncertain float64 `json:"uncertain,omitempty"`
 	// Phase breakdown (see Measurement); omitempty keeps records from runs
 	// without timings compact, and old readers ignore the unknown keys.
 	WorkloadNS int64 `json:"workload_ns,omitempty"`
@@ -103,6 +110,17 @@ func (j *Journal) Append(pointIndex int, m Measurement) error {
 		WorkloadNS:    int64(m.PhaseWorkload),
 		InferNS:       int64(m.PhaseInfer),
 		MetricsNS:     int64(m.PhaseMetrics),
+		Model:         m.Model,
+		Delay:         m.Delay,
+		Missing:       m.Missing,
+		Uncertain:     m.Uncertain,
+	}
+	// Keep legacy clean-IC records identical to pre-scenario journals.
+	if rec.Model == "ic" {
+		rec.Model = ""
+	}
+	if rec.Delay == "exp" {
+		rec.Delay = ""
 	}
 	if m.Err != nil {
 		rec.Error = m.Err.Error()
@@ -242,6 +260,16 @@ func LoadJournal(r io.Reader, strict bool) (*JournalHeader, map[CellKey]Measurem
 				PhaseWorkload: time.Duration(c.WorkloadNS),
 				PhaseInfer:    time.Duration(c.InferNS),
 				PhaseMetrics:  time.Duration(c.MetricsNS),
+				Model:         c.Model,
+				Delay:         c.Delay,
+				Missing:       c.Missing,
+				Uncertain:     c.Uncertain,
+			}
+			if m.Model == "" {
+				m.Model = "ic"
+			}
+			if m.Delay == "" {
+				m.Delay = "exp"
 			}
 			if c.Error != "" {
 				m.Err = errors.New(c.Error)

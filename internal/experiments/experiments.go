@@ -63,6 +63,10 @@ type Workload struct {
 	Mu      float64 // mean propagation probability
 	Alpha   float64 // initial infection ratio
 	Beta    int     // number of diffusion processes
+	// Scenario selects the diffusion model, transmission-delay law, and
+	// dirty-observation stages of the simulation (see diffusion.Scenario).
+	// The zero value is the historical clean IC workload.
+	Scenario diffusion.Scenario
 }
 
 // Point is one sweep point of a figure.
@@ -80,6 +84,12 @@ type Figure struct {
 	Title      string
 	Points     []Point
 	Algorithms []Algorithm
+	// ScenarioSweep names the scenario dimension this figure itself sweeps
+	// across its points ("model", "delay", "missing", "uncertain"), if any.
+	// ApplyScenario leaves that dimension alone when applying CLI overrides,
+	// so e.g. -missing 0.2 does not flatten the missing-rate sweep of
+	// Fig. 12 while still applying to every other figure.
+	ScenarioSweep string
 }
 
 // Measurement is one cell of a result table. With Config.Repeats > 1 the
@@ -107,6 +117,13 @@ type Measurement struct {
 	// or cancellation, keeping best-so-far parents. 0 when degradation is
 	// off or never triggered.
 	DegradedNodes int
+	// Model, Delay, Missing and Uncertain echo the cell's workload scenario
+	// (normalized, so Model is "ic" and Delay "exp" for legacy workloads) —
+	// the identity columns of the scenario-robustness figure families.
+	Model     string
+	Delay     string
+	Missing   float64
+	Uncertain float64
 	// PhaseWorkload, PhaseInfer and PhaseMetrics break the cell's work into
 	// phases, each the mean across completed repeats (like Runtime, which is
 	// ≈ PhaseInfer + PhaseMetrics). PhaseWorkload is the time spent
@@ -233,7 +250,7 @@ func (wl *sharedWorkload) get(ctx context.Context, w Workload, seed int64) (*gra
 			wl.err = fmt.Errorf("network: %w", err)
 			return
 		}
-		sim, err := simulate(ctx, g, w.Mu, w.Alpha, w.Beta, seed)
+		sim, err := simulate(ctx, g, w, seed)
 		if err != nil {
 			wl.err = fmt.Errorf("simulate: %w", err)
 			return
@@ -434,6 +451,9 @@ func RunContext(ctx context.Context, fig Figure, cfg Config, progress io.Writer)
 	aggregate := func(ci int) {
 		pi, ai := ci/nA, ci%nA
 		meas := Measurement{Figure: fig.ID, Point: fig.Points[pi].Label, Algorithm: fig.Algorithms[ai]}
+		sc := fig.Points[pi].Workload.Scenario.Normalized()
+		meas.Model, meas.Delay = string(sc.Model), string(sc.Delay)
+		meas.Missing, meas.Uncertain = sc.Missing, sc.Uncertain
 		var fs []float64
 		var pSum, rSum float64
 		var tSum time.Duration
@@ -763,7 +783,12 @@ func inferAlgo(ctx context.Context, cfg Config, pt *Point, algo Algorithm, g *gr
 		}
 		return func() metrics.PRF { return metrics.Score(g, res.Graph) }, len(res.Degraded), nil
 	case AlgoNetRate:
-		preds, err := netrate.InferContext(ctx, sim, netrate.Options{})
+		// NetRate's survival likelihood follows the workload's delay law —
+		// its home-turf evaluation. The power-law window δ stays at the
+		// solver default 1, the simulator's fixed Pareto scale (the
+		// scenario's DelayParam is the Pareto *shape*, which the likelihood
+		// does not take: the inferred rates α play that role).
+		preds, err := netrate.InferContext(ctx, sim, netrate.Options{Delay: pt.Workload.Scenario.Normalized().Delay})
 		if err != nil {
 			return nil, 0, err
 		}
@@ -810,12 +835,18 @@ func inferAlgo(ctx context.Context, cfg Config, pt *Point, algo Algorithm, g *gr
 }
 
 // simulate generates the observation data of one sweep point: per-edge
-// propagation probabilities drawn from N(mu, 0.05), then beta
-// independent-cascade processes with alpha-fraction random seeds.
-func simulate(ctx context.Context, g *graph.Directed, mu, alpha float64, beta int, seed int64) (*diffusion.Result, error) {
+// propagation probabilities drawn from N(mu, 0.05), then beta diffusion
+// processes with alpha-fraction random seeds under the workload's scenario
+// (model, delay law, dirty-observation stages); the zero scenario is the
+// historical clean IC path, draw-for-draw.
+func simulate(ctx context.Context, g *graph.Directed, w Workload, seed int64) (*diffusion.Result, error) {
 	rng := rand.New(rand.NewSource(seed + 7919))
-	ep := diffusion.NewEdgeProbs(g, mu, 0.05, rng)
-	return diffusion.SimulateContext(ctx, ep, diffusion.Config{Alpha: alpha, Beta: beta}, rng)
+	ep := diffusion.NewEdgeProbs(g, w.Mu, 0.05, rng)
+	sr, err := diffusion.SimulateScenarioContext(ctx, ep, diffusion.Config{Alpha: w.Alpha, Beta: w.Beta}, w.Scenario, rng)
+	if err != nil {
+		return nil, err
+	}
+	return sr.Result, nil
 }
 
 // lfrNetwork adapts an LFR benchmark index into a Workload network source.

@@ -277,19 +277,29 @@ func TestCellSeedNoCollisions(t *testing.T) {
 
 func TestFiguresComplete(t *testing.T) {
 	figs := Figures()
-	if len(figs) != 11 {
-		t.Fatalf("figures = %d, want 11", len(figs))
+	if len(figs) != 15 {
+		t.Fatalf("figures = %d, want 15", len(figs))
 	}
-	for id := 1; id <= 11; id++ {
+	for id := 1; id <= 15; id++ {
 		fig, ok := figs[id]
 		if !ok {
 			t.Fatalf("figure %d missing", id)
 		}
-		if len(fig.Points) < 5 {
+		if id <= 11 && len(fig.Points) < 5 {
+			t.Fatalf("figure %d has only %d points", id, len(fig.Points))
+		}
+		if id > 11 && len(fig.Points) < 3 {
 			t.Fatalf("figure %d has only %d points", id, len(fig.Points))
 		}
 		if len(fig.Algorithms) == 0 {
 			t.Fatalf("figure %d has no algorithms", id)
+		}
+	}
+	// The scenario-robustness figures declare the dimension they sweep so
+	// CLI overrides leave that axis alone.
+	for id, want := range map[int]string{12: "missing", 13: "uncertain", 14: "model", 15: "delay"} {
+		if got := figs[id].ScenarioSweep; got != want {
+			t.Fatalf("figure %d sweep = %q, want %q", id, got, want)
 		}
 	}
 	// Figs 1–9 compare the paper's four algorithms.
@@ -309,7 +319,7 @@ func TestFiguresComplete(t *testing.T) {
 			t.Fatalf("figure %d missing the traditional-MI ablation point", id)
 		}
 	}
-	if ids := FigureIDs(); len(ids) != 11 || ids[0] != 1 || ids[10] != 11 {
+	if ids := FigureIDs(); len(ids) != 15 || ids[0] != 1 || ids[14] != 15 {
 		t.Fatalf("FigureIDs = %v", ids)
 	}
 }

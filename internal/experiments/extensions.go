@@ -36,7 +36,7 @@ func NoiseRobustness(network func(int64) (*graph.Directed, error), flips []float
 	if err != nil {
 		return nil, err
 	}
-	sim, err := simulate(context.Background(), g, DefaultMu, DefaultAlpha, DefaultBeta, seed)
+	sim, err := simulate(context.Background(), g, Workload{Mu: DefaultMu, Alpha: DefaultAlpha, Beta: DefaultBeta}, seed)
 	if err != nil {
 		return nil, err
 	}
@@ -63,7 +63,7 @@ func MissingRobustness(network func(int64) (*graph.Directed, error), drops []flo
 	if err != nil {
 		return nil, err
 	}
-	sim, err := simulate(context.Background(), g, DefaultMu, DefaultAlpha, DefaultBeta, seed)
+	sim, err := simulate(context.Background(), g, Workload{Mu: DefaultMu, Alpha: DefaultAlpha, Beta: DefaultBeta}, seed)
 	if err != nil {
 		return nil, err
 	}
@@ -126,7 +126,7 @@ func TimestampNoise(network func(int64) (*graph.Directed, error), sigmas []float
 	if err != nil {
 		return nil, err
 	}
-	sim, err := simulate(context.Background(), g, DefaultMu, DefaultAlpha, DefaultBeta, seed)
+	sim, err := simulate(context.Background(), g, Workload{Mu: DefaultMu, Alpha: DefaultAlpha, Beta: DefaultBeta}, seed)
 	if err != nil {
 		return nil, err
 	}

@@ -16,9 +16,11 @@ const (
 	DefaultMu    = 0.3
 )
 
-// Figures returns the full set of regenerable figures keyed by number
-// (1–11). Scale (0 < scale ≤ 1) shrinks the real-network workloads for
-// quick runs: β is scaled; network sizes are fixed by the paper.
+// Figures returns the full set of regenerable figures keyed by number:
+// 1–11 reproduce the paper, 12–15 are the scenario-robustness families
+// (missing/uncertain observations, diffusion models, delay laws). Scale
+// (0 < scale ≤ 1) shrinks the real-network workloads for quick runs: β is
+// scaled; network sizes are fixed by the paper.
 func Figures() map[int]Figure {
 	figs := map[int]Figure{
 		1:  Fig1NetworkSize(),
@@ -32,6 +34,10 @@ func Figures() map[int]Figure {
 		9:  Fig9BetaDUNF(),
 		10: Fig10PruningNetSci(),
 		11: Fig11PruningDUNF(),
+		12: Fig12Missing(),
+		13: Fig13Uncertain(),
+		14: Fig14Models(),
+		15: Fig15Delays(),
 	}
 	return figs
 }

@@ -88,7 +88,7 @@ func formatDuration(d time.Duration) string {
 
 // WriteCSV emits measurements as CSV rows for downstream plotting.
 func WriteCSV(w io.Writer, ms []Measurement) error {
-	if _, err := fmt.Fprintln(w, "figure,point,algorithm,fscore,fscore_std,precision,recall,runtime_ms,failed_repeats,degraded_nodes,error"); err != nil {
+	if _, err := fmt.Fprintln(w, "figure,point,algorithm,fscore,fscore_std,precision,recall,runtime_ms,failed_repeats,degraded_nodes,model,delay,missing,uncertain,error"); err != nil {
 		return err
 	}
 	for _, m := range ms {
@@ -96,9 +96,20 @@ func WriteCSV(w io.Writer, ms []Measurement) error {
 		if m.Err != nil {
 			errStr = strings.ReplaceAll(m.Err.Error(), ",", ";")
 		}
-		if _, err := fmt.Fprintf(w, "%s,%s,%s,%.4f,%.4f,%.4f,%.4f,%.2f,%d,%d,%s\n",
+		// Measurements restored from pre-scenario journals carry empty
+		// scenario identity; normalize to the clean-IC defaults so the CSV
+		// schema is uniform.
+		model, delay := m.Model, m.Delay
+		if model == "" {
+			model = "ic"
+		}
+		if delay == "" {
+			delay = "exp"
+		}
+		if _, err := fmt.Fprintf(w, "%s,%s,%s,%.4f,%.4f,%.4f,%.4f,%.2f,%d,%d,%s,%s,%.2f,%.2f,%s\n",
 			m.Figure, m.Point, m.Algorithm, m.F, m.FStd, m.Precision, m.Recall,
-			float64(m.Runtime.Microseconds())/1000, m.FailedRepeats, m.DegradedNodes, errStr); err != nil {
+			float64(m.Runtime.Microseconds())/1000, m.FailedRepeats, m.DegradedNodes,
+			model, delay, m.Missing, m.Uncertain, errStr); err != nil {
 			return err
 		}
 	}
