@@ -1,0 +1,167 @@
+package main
+
+// The -influence mode benchmarks the seed-selection engines head to head on
+// one LFR network: RIS sketches (influence.RISSeeds) against the classic
+// CELF lazy greedy over Monte-Carlo estimation (influence.CELFSeeds). Both
+// pick the same budget of seeds; both seed sets are then evaluated with a
+// high-sample Monte-Carlo estimate on the same network, so the report
+// carries speed AND quality: the sketch engine must be faster at matched
+// expected spread, not faster by picking worse seeds. The report also
+// asserts worker-count determinism (RIS at 1 and 4 workers must agree
+// byte-for-byte), which CI checks on every run.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"reflect"
+	"runtime"
+	"time"
+
+	"tends/internal/diffusion"
+	"tends/internal/influence"
+	"tends/internal/lfr"
+)
+
+// influenceReport is the BENCH_INFLUENCE.json document.
+type influenceReport struct {
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+	Quick     bool   `json:"quick"`
+
+	N                int     `json:"n"`
+	Edges            int     `json:"edges"`
+	K                int     `json:"k"`
+	EdgeProb         float64 `json:"edge_prob"`
+	SelectionSamples int     `json:"selection_samples"` // CELF Monte-Carlo samples
+	EvalSamples      int     `json:"eval_samples"`      // final spread validation samples
+
+	RISNs       int64   `json:"ris_ns"`
+	CELFNs      int64   `json:"celf_ns"`
+	Speedup     float64 `json:"speedup"` // celf_ns / ris_ns
+	Sketches    int     `json:"sketches"`
+	RISSpread   float64 `json:"ris_spread"`
+	CELFSpread  float64 `json:"celf_spread"`
+	SpreadRatio float64 `json:"spread_ratio"` // ris_spread / celf_spread
+
+	WorkersDeterministic bool `json:"workers_deterministic"`
+}
+
+// runInfluenceBench builds the workload, times both selectors, validates
+// both seed sets, and writes the JSON report.
+func runInfluenceBench(out string, n, k int, quick bool, seed int64) error {
+	ctx := context.Background()
+	selectionSamples := 1000
+	evalSamples := 10000
+	if quick {
+		if n > 2000 {
+			n = 2000
+		}
+		if k > 10 {
+			k = 10
+		}
+		selectionSamples = 200
+		evalSamples = 2000
+	}
+
+	// Subcritical LFR diffusion workload, matching the scale-sweep recipe
+	// (ROADMAP: AvgDegree 10, uniform edge probability 0.08 keeps cascades
+	// local so per-candidate simulation cost is the selector's, not the
+	// outbreak's).
+	const edgeProb = 0.08
+	rng := rand.New(rand.NewSource(seed))
+	res, err := lfr.Generate(lfr.Params{N: n, AvgDegree: 10, DegreeExp: 2}, rng)
+	if err != nil {
+		return err
+	}
+	g := res.Graph
+	ep := diffusion.UniformEdgeProbs(g, edgeProb)
+	fmt.Fprintf(os.Stderr, "influence bench: n=%d edges=%d k=%d\n", n, g.NumEdges(), k)
+
+	// RIS selection (timed).
+	risOpt := influence.RISOptions{K: k, Seed: seed}
+	risStart := time.Now()
+	risRes, err := influence.RISSeeds(ctx, ep, risOpt)
+	if err != nil {
+		return fmt.Errorf("ris: %w", err)
+	}
+	risNs := time.Since(risStart).Nanoseconds()
+	fmt.Fprintf(os.Stderr, "RIS: %d seeds from %d sketches in %v\n", len(risRes.Seeds), risRes.Sketches, time.Duration(risNs))
+
+	// CELF+Monte-Carlo selection (timed) — the pre-sketch baseline.
+	celfStart := time.Now()
+	celfSeeds, _, err := influence.CELFSeeds(ctx, ep, influence.CELFOptions{K: k, Samples: selectionSamples, Seed: seed})
+	if err != nil {
+		return fmt.Errorf("celf: %w", err)
+	}
+	celfNs := time.Since(celfStart).Nanoseconds()
+	fmt.Fprintf(os.Stderr, "CELF: %d seeds in %v\n", len(celfSeeds), time.Duration(celfNs))
+
+	// Quality validation: both seed sets against the same high-sample
+	// Monte-Carlo streams.
+	evalOpt := influence.SpreadOptions{Samples: evalSamples, Seed: seed + 1}
+	risSpread, err := influence.SpreadEst(ctx, ep, risRes.Seeds, evalOpt)
+	if err != nil {
+		return err
+	}
+	celfSpread, err := influence.SpreadEst(ctx, ep, celfSeeds, evalOpt)
+	if err != nil {
+		return err
+	}
+
+	// Worker-count determinism: the sketch pool and everything downstream
+	// must be byte-identical at 1 and 4 workers.
+	det := true
+	var detRes [2]*influence.RISResult
+	for i, w := range []int{1, 4} {
+		opt := risOpt
+		opt.Workers = w
+		detRes[i], err = influence.RISSeeds(ctx, ep, opt)
+		if err != nil {
+			return err
+		}
+	}
+	if !reflect.DeepEqual(detRes[0], detRes[1]) {
+		det = false
+	}
+
+	rep := influenceReport{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Quick:     quick,
+
+		N:                n,
+		Edges:            g.NumEdges(),
+		K:                k,
+		EdgeProb:         edgeProb,
+		SelectionSamples: selectionSamples,
+		EvalSamples:      evalSamples,
+
+		RISNs:       risNs,
+		CELFNs:      celfNs,
+		Speedup:     float64(celfNs) / float64(risNs),
+		Sketches:    risRes.Sketches,
+		RISSpread:   risSpread,
+		CELFSpread:  celfSpread,
+		SpreadRatio: risSpread / celfSpread,
+
+		WorkersDeterministic: det,
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (speedup %.1fx, spread ratio %.3f, deterministic=%v)\n",
+		out, rep.Speedup, rep.SpreadRatio, det)
+	return nil
+}

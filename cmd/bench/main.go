@@ -10,11 +10,18 @@
 //	bench -quick               # single iteration per path (CI smoke)
 //	bench -scale               # IMI scale sweep (n=10³..10⁵) → BENCH_SCALE.json
 //	bench -scale -scale-ns 1000,10000 -scale-dense-max 10000
+//	bench -influence           # RIS vs CELF seed selection → BENCH_INFLUENCE.json
+//	bench -influence -quick    # small-n smoke (CI)
 //
 // The scale sweep times the sparse candidate engine against the dense
 // pairwise IMI baseline on subcritical LFR diffusion workloads; the dense
 // baseline is skipped above -scale-dense-max (it is O(n²·β) and would take
 // hours at n=10⁵).
+//
+// The influence mode races the reverse-reachable-sketch seed selector
+// against the CELF lazy greedy over Monte-Carlo estimation on one LFR
+// network, validates both seed sets with a high-sample spread estimate, and
+// checks RIS worker-count determinism; see cmd/bench/influence.go.
 //
 // Each entry records iterations, ns/op, B/op and allocs/op, so successive
 // runs of the same binary on the same machine can be diffed to spot
@@ -67,7 +74,19 @@ func main() {
 	scaleDenseMax := flag.Int("scale-dense-max", 10000, "largest n at which the dense IMI baseline is also timed")
 	scaleBeta := flag.Int("scale-beta", 256, "observations per scale point")
 	scaleSeed := flag.Int64("scale-seed", 1, "workload seed for the scale sweep")
+	infl := flag.Bool("influence", false, "benchmark RIS vs CELF seed selection instead, writing -influence-out")
+	inflOut := flag.String("influence-out", "BENCH_INFLUENCE.json", "influence benchmark output JSON path")
+	inflN := flag.Int("influence-n", 10000, "influence benchmark network size")
+	inflK := flag.Int("influence-k", 50, "influence benchmark seed budget")
+	inflSeed := flag.Int64("influence-seed", 1, "influence benchmark workload seed")
 	flag.Parse()
+	if *infl {
+		if err := runInfluenceBench(*inflOut, *inflN, *inflK, *quick, *inflSeed); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *scale {
 		if err := runScaleSweep(*scaleOut, *scaleNs, *scaleDenseMax, *scaleBeta, *scaleSeed); err != nil {
 			fmt.Fprintln(os.Stderr, "bench:", err)

@@ -129,7 +129,7 @@ func main() {
 		ablation = flag.String("ablation", "", "run an ablation instead: threshold, greedy, pruning, penalty, treemodel")
 		ext      = flag.String("ext", "", "run an extension study instead: noise, missing, mismatch, timestamps")
 	)
-	flag.IntVar(&o.figNum, "fig", 0, "figure number to regenerate (1..15)")
+	flag.IntVar(&o.figNum, "fig", 0, "figure number to regenerate (1..16)")
 	flag.BoolVar(&o.all, "all", false, "regenerate every figure")
 	flag.IntVar(&o.repeats, "repeats", 1, "simulation repeats averaged per point")
 	flag.Int64Var(&o.seed, "seed", 1, "base RNG seed")
@@ -367,7 +367,7 @@ func run(ctx context.Context, o runOpts) (int, error) {
 		ids = experiments.FigureIDs()
 	case o.figNum != 0:
 		if _, ok := figs[o.figNum]; !ok {
-			return exitErr, fmt.Errorf("unknown figure %d (have 1..15)", o.figNum)
+			return exitErr, fmt.Errorf("unknown figure %d (have 1..16)", o.figNum)
 		}
 		ids = []int{o.figNum}
 	default:

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -52,17 +54,26 @@ func fixture(t *testing.T) (dir, truth, status, cascades string, m int) {
 	return dir, truth, status, cascades, g.NumEdges()
 }
 
+func baseOpts() runOpts {
+	return runOpts{minRate: 0.01, samples: 200, risEps: 0.02, selector: "ris", seed: 1}
+}
+
 func TestRunAllAlgorithms(t *testing.T) {
 	dir, truth, status, cascades, m := fixture(t)
+	ctx := context.Background()
 	for _, algo := range []string{"tends", "netrate", "multree", "netinf", "lift", "path"} {
 		out := filepath.Join(dir, algo+".txt")
-		var err error
+		o := baseOpts()
+		o.algo = algo
+		o.outPath = out
+		o.truthPath = truth
 		if algo == "tends" {
-			err = run(algo, status, "", out, truth, 0, 0.01)
+			o.statusPath = status
 		} else {
-			err = run(algo, "", cascades, out, truth, m, 0.01)
+			o.cascadePath = cascades
+			o.m = m
 		}
-		if err != nil {
+		if err := run(ctx, o); err != nil {
 			t.Fatalf("%s: %v", algo, err)
 		}
 		f, err := os.Open(out)
@@ -83,19 +94,105 @@ func TestRunAllAlgorithms(t *testing.T) {
 	}
 }
 
+func TestRunFusedPipeline(t *testing.T) {
+	dir, truth, status, _, _ := fixture(t)
+	ctx := context.Background()
+	for _, selector := range []string{"ris", "celf"} {
+		o := baseOpts()
+		o.algo = "tends"
+		o.statusPath = status
+		o.truthPath = truth
+		o.outPath = filepath.Join(dir, "g_"+selector+".txt")
+		o.reportPath = filepath.Join(dir, "report_"+selector+".json")
+		o.selector = selector
+		o.k = 2
+		o.immunize = 1
+		if err := run(ctx, o); err != nil {
+			t.Fatalf("fused pipeline (%s): %v", selector, err)
+		}
+		raw, err := os.ReadFile(o.reportPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rep report
+		if err := json.Unmarshal(raw, &rep); err != nil {
+			t.Fatalf("report not valid JSON: %v", err)
+		}
+		if rep.Algo != "tends" || rep.Nodes != 12 {
+			t.Fatalf("report header wrong: %+v", rep)
+		}
+		if rep.Truth == nil || rep.Truth.F <= 0 {
+			t.Fatalf("truth scoring missing from report: %+v", rep.Truth)
+		}
+		if rep.Probest == nil || rep.Probest.Edges == 0 || rep.Probest.MeanProb <= 0 {
+			t.Fatalf("probest summary missing: %+v", rep.Probest)
+		}
+		if rep.Influence == nil || len(rep.Influence.Seeds) != 2 || rep.Influence.MCSpread <= 0 {
+			t.Fatalf("influence summary wrong: %+v", rep.Influence)
+		}
+		if selector == "ris" && rep.Influence.Sketches == 0 {
+			t.Fatal("RIS selector reported zero sketches")
+		}
+		if rep.Immunize == nil || len(rep.Immunize.Blocked) != 1 {
+			t.Fatalf("immunize summary wrong: %+v", rep.Immunize)
+		}
+		for _, ph := range []string{"infer", "probest", "influence", "immunize"} {
+			if rep.PhaseMS[ph] < 0 {
+				t.Fatalf("phase %s has negative wall time", ph)
+			}
+			if _, ok := rep.PhaseMS[ph]; !ok {
+				t.Fatalf("phase %s missing from report", ph)
+			}
+		}
+		if len(rep.Counters) == 0 {
+			t.Fatal("no observability counters in report")
+		}
+		if selector == "ris" {
+			if rep.Counters["influence/sketches"] == 0 {
+				t.Fatal("influence/sketches counter missing")
+			}
+		}
+		if rep.Counters["probest/nodes"] != 12 {
+			t.Fatalf("probest/nodes counter = %d, want 12", rep.Counters["probest/nodes"])
+		}
+	}
+}
+
+func TestRunFusedPipelineCancellation(t *testing.T) {
+	_, _, status, _, _ := fixture(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	o := baseOpts()
+	o.algo = "tends"
+	o.statusPath = status
+	o.k = 2
+	if err := run(ctx, o); err == nil {
+		t.Fatal("cancelled context should abort the pipeline")
+	}
+}
+
 func TestRunValidation(t *testing.T) {
 	_, truth, status, cascades, _ := fixture(t)
+	ctx := context.Background()
+	mk := func(mod func(*runOpts)) func() error {
+		return func() error {
+			o := baseOpts()
+			mod(&o)
+			return run(ctx, o)
+		}
+	}
 	cases := []struct {
 		name string
 		err  func() error
 	}{
-		{"no algo", func() error { return run("", status, cascades, "", "", 0, 0.01) }},
-		{"unknown algo", func() error { return run("bogus", status, cascades, "", "", 0, 0.01) }},
-		{"tends without status", func() error { return run("tends", "", cascades, "", "", 0, 0.01) }},
-		{"multree without cascades", func() error { return run("multree", status, "", "", "", 5, 0.01) }},
-		{"multree without budget", func() error { return run("multree", "", cascades, "", "", 0, 0.01) }},
-		{"missing truth file", func() error { return run("tends", status, "", "", truth+".nope", 0, 0.01) }},
-		{"missing status file", func() error { return run("tends", status+".nope", "", "", "", 0, 0.01) }},
+		{"no algo", mk(func(o *runOpts) { o.statusPath = status; o.cascadePath = cascades })},
+		{"unknown algo", mk(func(o *runOpts) { o.algo = "bogus" })},
+		{"tends without status", mk(func(o *runOpts) { o.algo = "tends"; o.cascadePath = cascades })},
+		{"multree without cascades", mk(func(o *runOpts) { o.algo = "multree"; o.statusPath = status; o.m = 5 })},
+		{"multree without budget", mk(func(o *runOpts) { o.algo = "multree"; o.cascadePath = cascades })},
+		{"missing truth file", mk(func(o *runOpts) { o.algo = "tends"; o.statusPath = status; o.truthPath = truth + ".nope" })},
+		{"missing status file", mk(func(o *runOpts) { o.algo = "tends"; o.statusPath = status + ".nope" })},
+		{"bad selector", mk(func(o *runOpts) { o.algo = "tends"; o.statusPath = status; o.k = 1; o.selector = "bogus" })},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

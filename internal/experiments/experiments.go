@@ -76,6 +76,13 @@ type Point struct {
 	// TENDSOptions overrides TENDS options at this point (used by the
 	// Fig. 10–11 threshold sweep); nil means defaults.
 	TENDSOptions *core.Options
+	// Influence switches the point's quality metric from edge-set PRF to
+	// the application-level influence evaluation of the Fig. 16 family:
+	// seeds are selected on the reconstructed weighted network and their
+	// Monte-Carlo spread on the true network is compared against seeds
+	// selected with full knowledge (see InfluenceEval). nil keeps the
+	// historical edge-scoring.
+	Influence *InfluenceEval
 }
 
 // Figure is a full experiment: an identifier, sweep points and algorithms.
@@ -317,7 +324,7 @@ func runTaskAttempt(ctx context.Context, cfg Config, pt *Point, algo Algorithm, 
 	}
 	defer cancel()
 	var dur time.Duration
-	r.prf, dur, r.ph.infer, r.ph.metrics, r.degraded, err = runAlgo(cellCtx, cfg, pt, algo, g, sim)
+	r.prf, dur, r.ph.infer, r.ph.metrics, r.degraded, err = runAlgo(cellCtx, cfg, pt, algo, g, sim, seed)
 	if err != nil {
 		// A deadline that fired on the cell context but not the run context
 		// is a per-cell timeout, the signal -cell-timeout tuning needs.
@@ -736,9 +743,9 @@ var algoHooks map[Algorithm]func(ctx context.Context, g *graph.Directed, sim *di
 // gracefully degraded nodes (TENDS only; always 0 for the baselines). The
 // context carries the per-cell deadline and run-level cancellation into the
 // algorithm's iteration loops.
-func runAlgo(ctx context.Context, cfg Config, pt *Point, algo Algorithm, g *graph.Directed, sim *diffusion.Result) (metrics.PRF, time.Duration, time.Duration, time.Duration, int, error) {
+func runAlgo(ctx context.Context, cfg Config, pt *Point, algo Algorithm, g *graph.Directed, sim *diffusion.Result, seed int64) (metrics.PRF, time.Duration, time.Duration, time.Duration, int, error) {
 	start := time.Now()
-	score, degraded, err := inferAlgo(ctx, cfg, pt, algo, g, sim)
+	score, degraded, err := inferAlgo(ctx, cfg, pt, algo, g, sim, seed)
 	if err != nil {
 		return metrics.PRF{}, 0, time.Since(start), 0, 0, err
 	}
@@ -751,14 +758,29 @@ func runAlgo(ctx context.Context, cfg Config, pt *Point, algo Algorithm, g *grap
 // inferAlgo runs the algorithm-specific inference and returns a closure that
 // scores the inferred topology against the ground truth — the seam between
 // the infer and metrics phases of the cell accounting — plus the number of
-// degraded nodes the inference reported.
-func inferAlgo(ctx context.Context, cfg Config, pt *Point, algo Algorithm, g *graph.Directed, sim *diffusion.Result) (func() metrics.PRF, int, error) {
+// degraded nodes the inference reported. When the point carries an
+// InfluenceEval, the edge-scoring closure is replaced by the influence
+// pipeline evaluation (probest + RIS seed selection + Monte-Carlo spread on
+// the true weighted network), run eagerly so its errors propagate; its cost
+// is therefore accounted to the infer phase. seed is the cell's workload
+// seed — the influence stage rebuilds the true edge probabilities from it.
+func inferAlgo(ctx context.Context, cfg Config, pt *Point, algo Algorithm, g *graph.Directed, sim *diffusion.Result, seed int64) (func() metrics.PRF, int, error) {
 	if hook, ok := algoHooks[algo]; ok {
 		prf, err := hook(ctx, g, sim)
 		if err != nil {
 			return nil, 0, err
 		}
 		return func() metrics.PRF { return prf }, 0, nil
+	}
+	score := func(inferred *graph.Directed, degraded int) (func() metrics.PRF, int, error) {
+		if pt.Influence != nil {
+			prf, err := influenceScore(ctx, pt, g, sim, inferred, seed)
+			if err != nil {
+				return nil, 0, err
+			}
+			return func() metrics.PRF { return prf }, degraded, nil
+		}
+		return func() metrics.PRF { return metrics.Score(g, inferred) }, degraded, nil
 	}
 	switch algo {
 	case AlgoTENDS, AlgoTENDSMI:
@@ -781,8 +803,13 @@ func inferAlgo(ctx context.Context, cfg Config, pt *Point, algo Algorithm, g *gr
 		if err != nil {
 			return nil, 0, err
 		}
-		return func() metrics.PRF { return metrics.Score(g, res.Graph) }, len(res.Degraded), nil
+		return score(res.Graph, len(res.Degraded))
 	case AlgoNetRate:
+		if pt.Influence != nil {
+			// NetRate yields weighted edges, not a committed edge set; the
+			// influence pipeline needs a topology to run probest on.
+			return nil, 0, fmt.Errorf("influence evaluation unsupported for %s", algo)
+		}
 		// NetRate's survival likelihood follows the workload's delay law —
 		// its home-turf evaluation. The power-law window δ stays at the
 		// solver default 1, the simulator's fixed Pareto scale (the
@@ -798,13 +825,13 @@ func inferAlgo(ctx context.Context, cfg Config, pt *Point, algo Algorithm, g *gr
 		if err != nil {
 			return nil, 0, err
 		}
-		return func() metrics.PRF { return metrics.Score(g, inferred) }, 0, nil
+		return score(inferred, 0)
 	case AlgoNetInf:
 		inferred, err := netinf.InferContext(ctx, sim, g.NumEdges(), netinf.Options{})
 		if err != nil {
 			return nil, 0, err
 		}
-		return func() metrics.PRF { return metrics.Score(g, inferred) }, 0, nil
+		return score(inferred, 0)
 	case AlgoLIFT:
 		// LIFT is a single pass over the observation matrix with no long
 		// iteration loop; a pre-check keeps cancelled cells from starting it.
@@ -815,7 +842,7 @@ func inferAlgo(ctx context.Context, cfg Config, pt *Point, algo Algorithm, g *gr
 		if err != nil {
 			return nil, 0, err
 		}
-		return func() metrics.PRF { return metrics.Score(g, inferred) }, 0, nil
+		return score(inferred, 0)
 	case AlgoPATH:
 		if err := ctx.Err(); err != nil {
 			return nil, 0, err
@@ -828,7 +855,7 @@ func inferAlgo(ctx context.Context, cfg Config, pt *Point, algo Algorithm, g *gr
 		if err != nil {
 			return nil, 0, err
 		}
-		return func() metrics.PRF { return metrics.Score(g, inferred) }, 0, nil
+		return score(inferred, 0)
 	default:
 		return nil, 0, fmt.Errorf("unknown algorithm %q", algo)
 	}
@@ -840,13 +867,22 @@ func inferAlgo(ctx context.Context, cfg Config, pt *Point, algo Algorithm, g *gr
 // (model, delay law, dirty-observation stages); the zero scenario is the
 // historical clean IC path, draw-for-draw.
 func simulate(ctx context.Context, g *graph.Directed, w Workload, seed int64) (*diffusion.Result, error) {
-	rng := rand.New(rand.NewSource(seed + 7919))
-	ep := diffusion.NewEdgeProbs(g, w.Mu, 0.05, rng)
+	ep, rng := workloadEdgeProbs(g, w, seed)
 	sr, err := diffusion.SimulateScenarioContext(ctx, ep, diffusion.Config{Alpha: w.Alpha, Beta: w.Beta}, w.Scenario, rng)
 	if err != nil {
 		return nil, err
 	}
 	return sr.Result, nil
+}
+
+// workloadEdgeProbs draws the true weighted network of a cell — the same
+// probabilities simulate() diffuses over, draw-for-draw. The influence
+// evaluation (Fig. 16 family) calls it to rebuild the ground-truth
+// EdgeProbs from the cell seed alone; simulate() continues consuming the
+// returned rng for the diffusion processes.
+func workloadEdgeProbs(g *graph.Directed, w Workload, seed int64) (*diffusion.EdgeProbs, *rand.Rand) {
+	rng := rand.New(rand.NewSource(seed + 7919))
+	return diffusion.NewEdgeProbs(g, w.Mu, 0.05, rng), rng
 }
 
 // lfrNetwork adapts an LFR benchmark index into a Workload network source.

@@ -277,10 +277,10 @@ func TestCellSeedNoCollisions(t *testing.T) {
 
 func TestFiguresComplete(t *testing.T) {
 	figs := Figures()
-	if len(figs) != 15 {
-		t.Fatalf("figures = %d, want 15", len(figs))
+	if len(figs) != 16 {
+		t.Fatalf("figures = %d, want 16", len(figs))
 	}
-	for id := 1; id <= 15; id++ {
+	for id := 1; id <= 16; id++ {
 		fig, ok := figs[id]
 		if !ok {
 			t.Fatalf("figure %d missing", id)
@@ -319,7 +319,20 @@ func TestFiguresComplete(t *testing.T) {
 			t.Fatalf("figure %d missing the traditional-MI ablation point", id)
 		}
 	}
-	if ids := FigureIDs(); len(ids) != 15 || ids[0] != 1 || ids[14] != 15 {
+	// Fig 16 is the influence-pipeline family: every point carries the
+	// evaluation config, and NetRate (no committed edge set) sits it out.
+	fig16 := figs[16]
+	for _, pt := range fig16.Points {
+		if pt.Influence == nil || pt.Influence.K <= 0 {
+			t.Fatalf("figure 16 point %q missing influence eval", pt.Label)
+		}
+	}
+	for _, a := range fig16.Algorithms {
+		if a == AlgoNetRate {
+			t.Fatal("figure 16 must not include NetRate")
+		}
+	}
+	if ids := FigureIDs(); len(ids) != 16 || ids[0] != 1 || ids[15] != 16 {
 		t.Fatalf("FigureIDs = %v", ids)
 	}
 }

@@ -18,7 +18,9 @@ const (
 
 // Figures returns the full set of regenerable figures keyed by number:
 // 1–11 reproduce the paper, 12–15 are the scenario-robustness families
-// (missing/uncertain observations, diffusion models, delay laws). Scale
+// (missing/uncertain observations, diffusion models, delay laws), and 16
+// is the influence-pipeline family (application-level quality: spread of
+// seeds chosen on the reconstruction vs. the true network). Scale
 // (0 < scale ≤ 1) shrinks the real-network workloads for quick runs: β is
 // scaled; network sizes are fixed by the paper.
 func Figures() map[int]Figure {
@@ -38,6 +40,7 @@ func Figures() map[int]Figure {
 		13: Fig13Uncertain(),
 		14: Fig14Models(),
 		15: Fig15Delays(),
+		16: Fig16Influence(),
 	}
 	return figs
 }

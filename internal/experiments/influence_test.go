@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"tends/internal/graph"
+)
+
+// influenceFigure is a small synthetic Fig16-style figure: a symmetrized
+// chain where the reconstruction is easy, so seeds chosen on the inferred
+// network should almost match seeds chosen on the true network.
+func influenceFigure(algos []Algorithm) Figure {
+	network := func(seed int64) (*graph.Directed, error) {
+		g := graph.Chain(14)
+		g.Symmetrize()
+		return g, nil
+	}
+	return Figure{
+		ID:         "Fig16Test",
+		Title:      "influence pipeline smoke",
+		Algorithms: algos,
+		Points: []Point{
+			{
+				Label:     "k=2",
+				Workload:  Workload{Network: network, Mu: 0.4, Alpha: 0.1, Beta: 120},
+				Influence: &InfluenceEval{K: 2, Samples: 300, MinSketches: 2048, MaxSketches: 2048},
+			},
+		},
+	}
+}
+
+func TestRunInfluenceFigure(t *testing.T) {
+	fig := influenceFigure([]Algorithm{AlgoTENDS, AlgoLIFT})
+	ms, err := Run(fig, Config{Seed: 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 2 {
+		t.Fatalf("measurements = %d, want 2", len(ms))
+	}
+	for _, m := range ms {
+		if m.Err != nil {
+			t.Fatalf("%s failed: %v", m.Algorithm, m.Err)
+		}
+		// F is the spread ratio reconstructed/true; 1.1 leaves room for
+		// Monte-Carlo noise when both pick equivalent seeds.
+		if m.F <= 0 || m.F > 1.1 {
+			t.Fatalf("%s spread ratio out of range: %v", m.Algorithm, m.F)
+		}
+		// Recall is the oracle seeds' spread fraction of n — always a
+		// positive quantity on this connected workload.
+		if m.Recall <= 0 || m.Precision <= 0 {
+			t.Fatalf("%s spread fractions not populated: %+v", m.Algorithm, m)
+		}
+	}
+	// TENDS reconstructs the chain near-perfectly: its seeds must reach at
+	// least 80% of the oracle's spread.
+	for _, m := range ms {
+		if m.Algorithm == AlgoTENDS && m.F < 0.8 {
+			t.Fatalf("TENDS spread ratio %v below 0.8 on a trivial instance", m.F)
+		}
+	}
+}
+
+func TestRunInfluenceFigureWorkersDeterministic(t *testing.T) {
+	fig := influenceFigure([]Algorithm{AlgoTENDS})
+	var runs [][]Measurement
+	for _, workers := range []int{1, 4} {
+		ms, err := Run(fig, Config{Seed: 4, Workers: workers}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ms {
+			ms[i].Runtime = 0 // wall time is the one legitimately varying field
+			ms[i].PhaseWorkload, ms[i].PhaseInfer, ms[i].PhaseMetrics = 0, 0, 0
+		}
+		runs = append(runs, ms)
+	}
+	if !reflect.DeepEqual(runs[0], runs[1]) {
+		t.Fatalf("influence measurements differ across harness workers:\n%+v\n%+v", runs[0], runs[1])
+	}
+}
+
+func TestRunInfluenceRejectsNetRate(t *testing.T) {
+	fig := influenceFigure([]Algorithm{AlgoNetRate})
+	ms, err := Run(fig, Config{Seed: 5}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 1 || ms[0].Err == nil {
+		t.Fatalf("NetRate influence cell should fail cleanly, got %+v", ms)
+	}
+}

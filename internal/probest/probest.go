@@ -24,11 +24,16 @@
 package probest
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"tends/internal/diffusion"
 	"tends/internal/graph"
+	"tends/internal/obs"
 )
 
 // Options tunes the estimator.
@@ -39,6 +44,10 @@ type Options struct {
 	// MinProb floors estimated probabilities away from 0/1 for numerical
 	// stability; 0 means 1e-4.
 	MinProb float64
+	// Workers bounds the goroutines fitting nodes: 0 means GOMAXPROCS, 1
+	// forces serial. fitNode is deterministic (no RNG), so the estimate is
+	// identical at any worker count.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -62,9 +71,19 @@ type Estimate struct {
 // Run estimates the edge probabilities of topology g from the status
 // matrix.
 func Run(sm *diffusion.StatusMatrix, g *graph.Directed, opt Options) (*Estimate, error) {
+	return RunContext(context.Background(), sm, g, opt)
+}
+
+// RunContext is Run with cancellation and observability: node fits run on a
+// bounded worker pool (Options.Workers), the context aborts remaining nodes,
+// and the context's obs recorder receives probest/nodes and
+// probest/em_iters counters. fitNode is deterministic, so the estimate is
+// byte-identical at any worker count.
+func RunContext(ctx context.Context, sm *diffusion.StatusMatrix, g *graph.Directed, opt Options) (*Estimate, error) {
 	opt = opt.withDefaults()
-	if sm.N() != g.NumNodes() {
-		return nil, fmt.Errorf("probest: %d observation columns but %d nodes", sm.N(), g.NumNodes())
+	n := g.NumNodes()
+	if sm.N() != n {
+		return nil, fmt.Errorf("probest: %d observation columns but %d nodes", sm.N(), n)
 	}
 	if sm.Beta() == 0 {
 		return nil, fmt.Errorf("probest: no observations")
@@ -74,17 +93,77 @@ func Run(sm *diffusion.StatusMatrix, g *graph.Directed, opt Options) (*Estimate,
 	}
 	est := &Estimate{
 		Probs: make(map[graph.Edge]float64, g.NumEdges()),
-		Leaks: make([]float64, g.NumNodes()),
+		Leaks: make([]float64, n),
 	}
-	for v := 0; v < g.NumNodes(); v++ {
-		parents := g.Parents(v)
-		probs, leak := fitNode(sm, v, parents, opt)
-		est.Leaks[v] = leak
-		for i, u := range parents {
-			est.Probs[graph.Edge{From: u, To: v}] = probs[i]
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	// Per-node results land in slices indexed by node (the Probs map is
+	// not safe for concurrent writes); merged serially below.
+	nodeProbs := make([][]float64, n)
+	var emIters atomic.Int64
+	var nextNode atomic.Int64
+	fitRange := func() {
+		for ctx.Err() == nil {
+			v := int(nextNode.Add(1)) - 1
+			if v >= n {
+				return
+			}
+			probs, leak, iters := fitNode(sm, v, g.Parents(v), opt)
+			nodeProbs[v] = probs
+			est.Leaks[v] = leak
+			emIters.Add(int64(iters))
 		}
 	}
+	if workers <= 1 {
+		fitRange()
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() { defer wg.Done(); fitRange() }()
+		}
+		wg.Wait()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for v := 0; v < n; v++ {
+		for i, u := range g.Parents(v) {
+			est.Probs[graph.Edge{From: u, To: v}] = nodeProbs[v][i]
+		}
+	}
+	rcd := obs.From(ctx)
+	rcd.Counter("probest/nodes").Add(int64(n))
+	rcd.Counter("probest/em_iters").Add(emIters.Load())
 	return est, nil
+}
+
+// EdgeProbs converts the estimate into the simulator's CSR layout for the
+// influence stage, clamping probabilities into (0,1): probest emits exact 0
+// for edges whose parent was never infected (no evidence), which the CSR
+// constructor rejects. Such edges get floor — effectively inert in cascade
+// simulation — and everything ≥ 1−floor is capped symmetrically. floor ≤ 0
+// means 1e-4.
+func (e *Estimate) EdgeProbs(g *graph.Directed, floor float64) (*diffusion.EdgeProbs, error) {
+	if floor <= 0 {
+		floor = 1e-4
+	}
+	clamped := make(map[graph.Edge]float64, len(e.Probs))
+	for edge, p := range e.Probs {
+		if p < floor {
+			p = floor
+		}
+		if p > 1-floor {
+			p = 1 - floor
+		}
+		clamped[edge] = p
+	}
+	return diffusion.EdgeProbsFromMap(g, clamped)
 }
 
 // fitNode maximizes the noisy-OR likelihood of one node's column given its
@@ -94,7 +173,7 @@ func Run(sm *diffusion.StatusMatrix, g *graph.Directed, opt Options) (*Estimate,
 // active set A, P(z_u = 1) = p_u / (1 - prod_{w in A}(1 - p_w)); on outcome
 // 0 every z_u is 0. The M-step averages the posteriors, which increases the
 // likelihood monotonically with no step size to tune.
-func fitNode(sm *diffusion.StatusMatrix, v int, parents []int, opt Options) ([]float64, float64) {
+func fitNode(sm *diffusion.StatusMatrix, v int, parents []int, opt Options) ([]float64, float64, int) {
 	beta := sm.Beta()
 	k := len(parents)
 	// p[0] is the leak; p[j+1] belongs to parents[j].
@@ -124,7 +203,9 @@ func fitNode(sm *diffusion.StatusMatrix, v int, parents []int, opt Options) ([]f
 	}
 
 	acc := make([]float64, k+1)
+	iters := 0
 	for iter := 0; iter < opt.Iterations; iter++ {
+		iters++
 		for j := range acc {
 			acc[j] = 0
 		}
@@ -177,5 +258,5 @@ func fitNode(sm *diffusion.StatusMatrix, v int, parents []int, opt Options) ([]f
 	if leak <= opt.MinProb {
 		leak = 0
 	}
-	return probs, leak
+	return probs, leak, iters
 }
