@@ -35,12 +35,25 @@
 //	benchfig -scale -scale-n 100000 -sparse           # one big run end to end
 //	benchfig -scale -scale-n 100000 -sparse -shard 0/4 -checkpoint s0.jsonl
 //	benchfig -scale -scale-n 100000 -sparse -shard 1/4 -checkpoint s1.jsonl  # ... one process per shard
-//	benchfig -scale -scale-n 100000 -sparse -merge s0.jsonl,s1.jsonl,s2.jsonl,s3.jsonl
+//	benchfig -scale -scale-n 100000 -sparse -merge 'shards/*.jsonl'   # globs allowed
+//	benchfig -scale -scale-n 100000 -sparse -merge 'shards/*.jsonl' -merge-degraded  # partial set OK
 //
 // Every shard regenerates the identical workload from -seed and computes the
 // identical global threshold, so the merged topology is byte-identical to an
 // unsharded run; the merge cross-checks headers and refuses mismatched or
-// truncated journals.
+// truncated journals. -merge validates shard-set completeness up front and
+// names the missing indices; -merge-degraded merges an incomplete set into
+// the partial topology plus an explicit missing-node report (exit 3).
+//
+// Supervised distributed runs launch, monitor, and heal the shard workers
+// in one command — crashed or stalled workers restart with node-level journal
+// resume, stragglers get hedged duplicate launches, and a shard that exhausts
+// its retry budget degrades the merge instead of failing it:
+//
+//	benchfig -scale -scale-n 100000 -sparse -supervise 4
+//	benchfig -scale -supervise 4 -shard-retries 3 -shard-deadline 10m -stall-timeout 30s
+//	benchfig -scale -supervise 4 -hedge-after 2m -supervise-report report.json
+//	benchfig -scale -supervise 4 -chaos "supervise.worker.kill=0.05" -chaos-seed 7
 //
 // Each (point, repeat) workload is generated once and shared by every
 // compared algorithm; -workers bounds how many (point, repeat, algorithm)
@@ -162,7 +175,7 @@ func main() {
 	registerScaleFlags(&s)
 	flag.Parse()
 
-	if s.run || s.shardSpec != "" || s.mergeSpec != "" {
+	if s.run || s.shardSpec != "" || s.mergeSpec != "" || s.superviseK > 0 {
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 		defer stop()
 		code, err := runScale(ctx, o, s)

@@ -5,9 +5,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
 	"strings"
 	"time"
 
+	"tends/internal/chaos"
 	"tends/internal/experiments"
 	"tends/internal/obs"
 )
@@ -16,7 +20,9 @@ import (
 // runs one large-n LFR point end to end instead of regenerating a figure.
 // The workload is derived deterministically from -seed, so independent
 // processes can each run one shard (-shard i/k) and their journals merge
-// (-merge) into the same topology an unsharded run would produce.
+// (-merge) into the same topology an unsharded run would produce — and the
+// -supervise mode launches, monitors, restarts, and merges those shard
+// workers itself.
 type scaleOpts struct {
 	run       bool
 	n         int
@@ -29,6 +35,23 @@ type scaleOpts struct {
 	sparse    bool
 	shardSpec string
 	mergeSpec string
+
+	// Supervised-run flags (the -supervise family).
+	superviseK      int
+	shardDeadline   time.Duration
+	shardRetries    int
+	hedgeAfter      time.Duration
+	stallTimeout    time.Duration
+	pollEvery       time.Duration
+	superviseDir    string
+	superviseReport string
+
+	// Worker-side flags the supervisor passes to its shard subprocesses.
+	shardResume  bool
+	shardAttempt int
+
+	// Merge-side degradation switch.
+	mergeDegraded bool
 }
 
 func registerScaleFlags(s *scaleOpts) {
@@ -42,7 +65,18 @@ func registerScaleFlags(s *scaleOpts) {
 	flag.Float64Var(&s.mu, "scale-mu", 0.08, "scale study: mean per-edge propagation probability (subcritical keeps co-pairs sparse)")
 	flag.BoolVar(&s.sparse, "sparse", false, "use the sparse candidate engine (bit-identical results, sub-quadratic pairwise stage)")
 	flag.StringVar(&s.shardSpec, "shard", "", `run one shard of the scale study, e.g. "0/4"; requires -checkpoint for the shard journal`)
-	flag.StringVar(&s.mergeSpec, "merge", "", "comma-separated shard journals to merge into the final topology")
+	flag.StringVar(&s.mergeSpec, "merge", "", `comma-separated shard journals (globs allowed, e.g. 'shards/*.jsonl') to merge into the final topology`)
+	flag.IntVar(&s.superviseK, "supervise", 0, "supervise k shard worker subprocesses end to end: launch, monitor, restart, resume, hedge, and merge (requires -scale)")
+	flag.DurationVar(&s.shardDeadline, "shard-deadline", 0, "supervise: kill and retry a shard attempt running longer than this (0 = none)")
+	flag.IntVar(&s.shardRetries, "shard-retries", 2, "supervise: restarts granted to a failed shard before the merge degrades without it")
+	flag.DurationVar(&s.hedgeAfter, "hedge-after", 0, "supervise: launch a hedged duplicate of a shard attempt still running after this long (0 = never)")
+	flag.DurationVar(&s.stallTimeout, "stall-timeout", 0, "supervise: kill a shard whose journal has not grown for this long (0 = no stall detection)")
+	flag.DurationVar(&s.pollEvery, "shard-poll", 0, "supervise: journal heartbeat poll interval (0 = 25ms)")
+	flag.StringVar(&s.superviseDir, "supervise-dir", "", "supervise: directory for the shard journals (default: a fresh supervise-shards dir)")
+	flag.StringVar(&s.superviseReport, "supervise-report", "", "supervise: write the structured run report (per-shard outcomes, merge accounting, counters) as JSON to this file")
+	flag.BoolVar(&s.shardResume, "shard-resume", false, "shard worker: continue the partial journal at -checkpoint (torn tails truncated; corrupt journals restart fresh)")
+	flag.IntVar(&s.shardAttempt, "shard-attempt", 0, "shard worker: supervisor attempt number (keys the chaos decision scope per restart)")
+	flag.BoolVar(&s.mergeDegraded, "merge-degraded", false, "merge: accept an incomplete shard set and produce the partial topology plus a missing-node report")
 }
 
 // parseShardSpec parses "i/k" into (index, count).
@@ -72,14 +106,146 @@ func (s *scaleOpts) config(o runOpts) experiments.ScaleConfig {
 	}
 }
 
-// runScale executes the scale study in one of three modes: a full run, one
-// shard of k (journaled to -checkpoint), or a merge of shard journals.
+// scaleInjector builds the chaos injector of the scale modes from the
+// shared -chaos/-chaos-seed flags; nil when chaos is off.
+func scaleInjector(o runOpts) (*chaos.Injector, error) {
+	if o.chaosSpec == "" {
+		return nil, nil
+	}
+	rules, err := chaos.ParseSpec(o.chaosSpec)
+	if err != nil {
+		return nil, fmt.Errorf("usage: -chaos: %w", err)
+	}
+	return chaos.New(o.chaosSeed, rules), nil
+}
+
+// expandMergeSpec resolves the -merge argument: comma-separated segments,
+// each either a literal path or a glob, into a sorted path list.
+func expandMergeSpec(spec string) ([]string, error) {
+	var paths []string
+	for _, seg := range strings.Split(spec, ",") {
+		seg = strings.TrimSpace(seg)
+		if seg == "" {
+			continue
+		}
+		matches, err := filepath.Glob(seg)
+		if err != nil {
+			return nil, fmt.Errorf("usage: -merge pattern %q: %w", seg, err)
+		}
+		if len(matches) == 0 {
+			return nil, fmt.Errorf("-merge: no shard journals match %q", seg)
+		}
+		paths = append(paths, matches...)
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("-merge: empty journal list %q", spec)
+	}
+	sort.Strings(paths)
+	return paths, nil
+}
+
+// validateShardSet peeks at every journal's header (first line only) and
+// reports, up front, which shard indices of the set are missing — so an
+// operator learns "missing indices [2 5]" instead of a generic merge error
+// after minutes of parsing. Identity mismatches surface here too.
+func validateShardSet(paths []string) (present map[int][]string, count int, missing []int, err error) {
+	var ref *experiments.ShardHeader
+	present = make(map[int][]string)
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, 0, nil, err
+		}
+		h, herr := experiments.ReadShardHeader(f)
+		f.Close()
+		if herr != nil {
+			return nil, 0, nil, fmt.Errorf("%s: %w", path, herr)
+		}
+		if ref == nil {
+			ref = h
+		} else if !h.SameRun(*ref) {
+			return nil, 0, nil, fmt.Errorf("%s: shard %d/%d ran a different configuration than %d/%d",
+				path, h.ShardIndex, h.ShardCount, ref.ShardIndex, ref.ShardCount)
+		}
+		present[h.ShardIndex] = append(present[h.ShardIndex], path)
+	}
+	for i := 0; i < ref.ShardCount; i++ {
+		if len(present[i]) == 0 {
+			missing = append(missing, i)
+		}
+	}
+	return present, ref.ShardCount, missing, nil
+}
+
+// loadShardJournals parses full shard journals, lenient by default (each
+// skipped line reported to stderr with its position), strict under
+// -resume-strict.
+func loadShardJournals(paths []string, strict bool) ([]*experiments.ShardHeader, []map[int][]int, error) {
+	var headers []*experiments.ShardHeader
+	var nodes []map[int][]int
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		h, ns, warnings, err := experiments.LoadShardJournal(f, strict)
+		f.Close()
+		for _, w := range warnings {
+			fmt.Fprintf(os.Stderr, "benchfig: %s: %s\n", path, w)
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: %w", path, err)
+		}
+		headers = append(headers, h)
+		nodes = append(nodes, ns)
+	}
+	return headers, nodes, nil
+}
+
+// loadShardJournalsDegraded parses shard journals for a degraded merge:
+// journals that fail to load at all are dropped with a stderr warning
+// instead of failing the merge, and per-line damage is reported the same
+// way the lenient loader always does.
+func loadShardJournalsDegraded(paths []string) ([]*experiments.ShardHeader, []map[int][]int) {
+	var headers []*experiments.ShardHeader
+	var nodes []map[int][]int
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchfig: degraded merge: dropping %s: %v\n", path, err)
+			continue
+		}
+		h, ns, warnings, lerr := experiments.LoadShardJournal(f, false)
+		f.Close()
+		for _, w := range warnings {
+			fmt.Fprintf(os.Stderr, "benchfig: %s: %s\n", path, w)
+		}
+		if lerr != nil {
+			fmt.Fprintf(os.Stderr, "benchfig: degraded merge: dropping %s: %v\n", path, lerr)
+			continue
+		}
+		headers = append(headers, h)
+		nodes = append(nodes, ns)
+	}
+	return headers, nodes
+}
+
+// runScale executes the scale study in one of four modes: a full run, one
+// shard of k (journaled incrementally to -checkpoint, resumable), a merge
+// of shard journals, or a supervised k-shard run.
 func runScale(ctx context.Context, o runOpts, s scaleOpts) (int, error) {
 	cfg := s.config(o)
+	injector, err := scaleInjector(o)
+	if err != nil {
+		return exitErr, err
+	}
 	var rec *obs.Recorder
-	if o.obsJSON != "" {
+	if o.obsJSON != "" || s.superviseReport != "" {
 		rec = obs.New()
 		cfg.Obs = rec
+	}
+	if injector != nil {
+		ctx = chaos.With(ctx, injector)
 	}
 	writeObs := func() error {
 		if o.obsJSON == "" {
@@ -97,25 +263,52 @@ func runScale(ctx context.Context, o runOpts, s scaleOpts) (int, error) {
 	}
 
 	switch {
+	case s.superviseK > 0:
+		if !s.run {
+			return exitErr, fmt.Errorf("usage: -supervise requires -scale")
+		}
+		code, err := runSupervised(ctx, o, s, cfg, injector, rec)
+		if werr := writeObs(); err == nil && werr != nil {
+			return exitErr, werr
+		}
+		return code, err
+
 	case s.mergeSpec != "":
-		var headers []*experiments.ShardHeader
-		var nodes []map[int][]int
-		for _, path := range strings.Split(s.mergeSpec, ",") {
-			path = strings.TrimSpace(path)
-			if path == "" {
-				continue
+		paths, err := expandMergeSpec(s.mergeSpec)
+		if err != nil {
+			return exitErr, err
+		}
+		if s.mergeDegraded {
+			// The degraded merge tolerates what the strict path rejects:
+			// journals that never got a header (a worker killed before its
+			// search started leaves an empty file), truncated journals, and
+			// absent shards. Unloadable journals are dropped with a warning;
+			// the report accounts for every node they would have carried.
+			headers, nodes := loadShardJournalsDegraded(paths)
+			if len(headers) == 0 {
+				return exitErr, fmt.Errorf("merge: none of the %d journals is usable", len(paths))
 			}
-			f, err := os.Open(path)
+			merged, rep, err := experiments.MergeScaleShardsDegraded(ctx, cfg, headers, nodes)
 			if err != nil {
 				return exitErr, err
 			}
-			h, ns, err := experiments.LoadShardJournal(f)
-			f.Close()
-			if err != nil {
-				return exitErr, fmt.Errorf("%s: %w", path, err)
+			printDegradedMerge(cfg, merged, rep)
+			if rep.Complete {
+				return exitOK, writeObs()
 			}
-			headers = append(headers, h)
-			nodes = append(nodes, ns)
+			return exitFailedCells, writeObs()
+		}
+		present, count, missing, err := validateShardSet(paths)
+		if err != nil {
+			return exitErr, err
+		}
+		if len(missing) > 0 {
+			return exitErr, fmt.Errorf("merge: shard set incomplete: have %d of %d shards, missing indices %v (pass -merge-degraded to merge the partial topology)",
+				len(present), count, missing)
+		}
+		headers, nodes, err := loadShardJournals(paths, o.resumeStrict)
+		if err != nil {
+			return exitErr, err
 		}
 		merged, err := experiments.MergeScaleShards(ctx, cfg, headers, nodes)
 		if err != nil {
@@ -135,28 +328,9 @@ func runScale(ctx context.Context, o runOpts, s scaleOpts) (int, error) {
 			return exitErr, fmt.Errorf("usage: -shard requires -checkpoint for the shard journal")
 		}
 		cfg.ShardIndex, cfg.ShardCount = idx, count
-		res, err := experiments.RunScale(ctx, cfg)
+		cfg.Attempt = s.shardAttempt
+		res, err := experiments.RunShardWorker(ctx, cfg, o.checkpoint, s.shardResume)
 		if err != nil {
-			return exitErr, err
-		}
-		hdr, err := experiments.ShardHeaderFor(cfg, res)
-		if err != nil {
-			return exitErr, err
-		}
-		f, err := os.Create(o.checkpoint)
-		if err != nil {
-			return exitErr, err
-		}
-		j, err := experiments.NewShardJournal(f, hdr)
-		if err != nil {
-			f.Close()
-			return exitErr, err
-		}
-		if err := experiments.WriteShardJournal(j, cfg, res); err != nil {
-			f.Close()
-			return exitErr, err
-		}
-		if err := f.Close(); err != nil {
 			return exitErr, err
 		}
 		fmt.Printf("scale shard %d/%d: n=%d sparse=%v threshold=%.6g workload=%v infer=%v journal=%s\n",
@@ -176,4 +350,23 @@ func runScale(ctx context.Context, o runOpts, s scaleOpts) (int, error) {
 			res.WorkloadDur.Round(time.Millisecond), res.InferDur.Round(time.Millisecond))
 		return exitOK, writeObs()
 	}
+}
+
+// printDegradedMerge renders a degraded merge: the partial topology's
+// stats in the same shape the complete merge prints, plus the structured
+// missing-set accounting on stderr.
+func printDegradedMerge(cfg experiments.ScaleConfig, merged *experiments.MergedScaleResult, rep *experiments.MergeReport) {
+	fmt.Printf("scale merge degraded: n=%d shards=%d/%d threshold=%.6g edges=%d missing_nodes=%d\n",
+		cfg.N, len(rep.PresentShards), rep.ShardCount, merged.Threshold, merged.Graph.NumEdges(), len(rep.MissingNodes))
+	fmt.Printf("P=%.4f R=%.4f F=%.4f\n", merged.Score.Precision, merged.Score.Recall, merged.Score.F)
+	if !rep.Complete {
+		fmt.Fprintf(os.Stderr, "benchfig: degraded merge: missing shards %v; %d of %d nodes merged, %d missing\n",
+			rep.MissingShards, rep.MergedNodes, rep.N, len(rep.MissingNodes))
+	}
+}
+
+// itoa and ftoa shorten the worker argv construction.
+func itoa(v int) string { return strconv.Itoa(v) }
+func ftoa(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
 }

@@ -11,7 +11,11 @@
 // loses nothing acked: restart replays the WAL onto the last snapshot and
 // reproduces the exact batch-run topology. SIGTERM drains gracefully —
 // queued batches commit, the final recompute lands, and a snapshot is
-// persisted.
+// persisted — within the -drain-timeout budget; a drain that breaches it
+// prints one structured stderr line with the durability position (rows
+// acked, rows still queued and therefore dropped unacked, WAL rows/bytes)
+// and exits with status 4 instead of 1, so supervisors can tell "shut down
+// dirty but acked data is safe" from an ordinary failure.
 //
 // ingest streams a statuses file (the diffsim format) into a running
 // server in batches with deterministic batch ids, retrying on
@@ -79,6 +83,9 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tendsd: %v\n", err)
+		if errors.Is(err, serve.ErrDrainDeadline) {
+			os.Exit(4)
+		}
 		os.Exit(1)
 	}
 }
@@ -106,6 +113,7 @@ func serviceFlags(fs *flag.FlagSet, cfg *serve.Config) (chaosSpec *string, chaos
 	fs.DurationVar(&cfg.MaxLag, "max-lag", 0, "max topology staleness under a continuous stream (default 2s)")
 	fs.IntVar(&cfg.SnapshotEvery, "snapshot-every", 0, "persist a snapshot every this many acked rows (0 = only on drain)")
 	fs.BoolVar(&cfg.StrictWAL, "strict-wal", false, "refuse to start on a torn WAL tail instead of truncating it")
+	fs.DurationVar(&cfg.DrainTimeout, "drain-timeout", 0, "graceful-drain budget on SIGTERM/SIGINT; a breach prints a durability summary and exits 4 (default 30s)")
 	chaosSpec = fs.String("chaos", "", "chaos spec, e.g. \"serve.wal.fsync=0.01,serve.recompute:delay=0.1\"")
 	chaosSeed = fs.Int64("chaos-seed", 1, "chaos decision seed")
 	maxHeapMB = fs.Int64("max-heap-mb", 0, "reject ingests while the live heap exceeds this many MiB (0 = off)")
@@ -144,6 +152,9 @@ func runServe(args []string) error {
 	cfg.Injector = inj
 	cfg.ChaosSeed = *chaosSeed
 	cfg.MaxHeapBytes = *maxHeapMB << 20
+	if cfg.DrainTimeout == 0 {
+		cfg.DrainTimeout = serve.DefaultDrainTimeout
+	}
 	cfg.Recorder = obs.New()
 	cfg.Logf = func(format string, a ...any) {
 		fmt.Fprintf(os.Stderr, "tendsd: "+format+"\n", a...)
@@ -157,7 +168,23 @@ func runServe(args []string) error {
 		cfg.N, *addr, s.Rows(), replay.Rows, replay.Truncated)
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	return s.Serve(ctx, *addr)
+	err = s.Serve(ctx, *addr)
+	if errors.Is(err, serve.ErrDrainDeadline) {
+		// The drain ran out of its budget. Print the durability position as
+		// one structured stderr line — what was acked (durable), what was
+		// still queued (never acked, so dropped safely), and where the WAL
+		// stands — so the operator knows exactly what a restart will replay.
+		st := s.DrainStatus()
+		sum, jerr := json.Marshal(struct {
+			Event        string `json:"event"`
+			DrainTimeout string `json:"drain_timeout"`
+			serve.DrainStatus
+		}{"drain_deadline_exceeded", cfg.DrainTimeout.String(), st})
+		if jerr == nil {
+			fmt.Fprintf(os.Stderr, "tendsd: %s\n", sum)
+		}
+	}
+	return err
 }
 
 // ingestBody mirrors the service's ingest request schema.

@@ -123,6 +123,32 @@ type Options struct {
 	// is what makes n ≥ 10⁵ inference tractable.
 	Sparse bool
 
+	// SkipNodes marks nodes whose parent-set search is skipped entirely:
+	// they keep empty parent sets and are NOT reported in Result.Degraded.
+	// The supervisor's node-level resume uses it to continue a killed shard
+	// from its partial journal — already-journaled nodes are skipped and
+	// their recorded parents folded back in by the caller. Indices outside
+	// [0, n) are ignored.
+	SkipNodes map[int]bool
+
+	// OnSearchStart, when non-nil, is called once after threshold selection
+	// and before any parent-set search, with the global pruning threshold
+	// the search will use. A returned error aborts the inference. The
+	// supervised shard worker uses it to write (or cross-check) its journal
+	// header — the header carries τ, which is only known here — before node
+	// records start streaming.
+	OnSearchStart func(threshold float64) error
+
+	// OnNodeDone, when non-nil, is called after each searched node with its
+	// final parent set (nodes outside the shard or in SkipNodes are never
+	// reported). Calls come from the search workers, possibly concurrently;
+	// the callback must be safe for concurrent use. The first returned
+	// error cancels the remaining search and fails the inference (unless
+	// degradation is enabled, in which case the error still fails the
+	// inference after the degraded search drains). The supervised shard
+	// worker uses it to journal each node as soon as it completes.
+	OnNodeDone func(node int, parents []int) error
+
 	// ShardIndex/ShardCount split the node-local parent search across
 	// processes: with ShardCount = k > 1, only nodes i with i mod k ==
 	// ShardIndex are searched; the rest keep empty parent sets. The
@@ -369,10 +395,34 @@ func inferStages(ctx context.Context, sm *diffusion.StatusMatrix, imi pairSource
 		}
 	}
 	thresholdSpan.End()
+	if opt.OnSearchStart != nil {
+		if err := opt.OnSearchStart(tau); err != nil {
+			return nil, fmt.Errorf("core: search start: %w", err)
+		}
+	}
 	searchSpan := rec.StartSpan("core/search")
 	degrade := opt.degradeMode()
 	inShard := func(i int) bool {
-		return opt.ShardCount <= 1 || i%opt.ShardCount == opt.ShardIndex
+		return (opt.ShardCount <= 1 || i%opt.ShardCount == opt.ShardIndex) && !opt.SkipNodes[i]
+	}
+	// OnNodeDone errors cancel the remaining search through a sub-context;
+	// the first error wins and fails the inference after the workers drain.
+	sctx := ctx
+	var hookMu sync.Mutex
+	var hookErr error
+	onNodeErr := func(err error) {}
+	if opt.OnNodeDone != nil {
+		var cancel context.CancelFunc
+		sctx, cancel = context.WithCancel(ctx)
+		defer cancel()
+		onNodeErr = func(err error) {
+			hookMu.Lock()
+			if hookErr == nil {
+				hookErr = err
+				cancel()
+			}
+			hookMu.Unlock()
+		}
 	}
 	reasons := make([]DegradeReason, n)
 	searchNode := func(i int) {
@@ -386,7 +436,15 @@ func inferStages(ctx context.Context, sm *diffusion.StatusMatrix, imi pairSource
 			cands = cands[:opt.MaxCandidates]
 			sort.Ints(cands)
 		}
-		res.Parents[i], reasons[i] = searchParents(ctx, scorer, i, cands, opt, tel)
+		res.Parents[i], reasons[i] = searchParents(sctx, scorer, i, cands, opt, tel)
+		// Only fully searched nodes reach the callback: a node cut short
+		// (degraded or cancelled) has a partial answer the journal must not
+		// record as complete.
+		if opt.OnNodeDone != nil && reasons[i] == DegradeNone {
+			if err := opt.OnNodeDone(i, res.Parents[i]); err != nil {
+				onNodeErr(err)
+			}
+		}
 	}
 
 	workers := opt.Workers
@@ -401,7 +459,7 @@ func inferStages(ctx context.Context, sm *diffusion.StatusMatrix, imi pairSource
 			if !inShard(i) {
 				continue
 			}
-			if ctx.Err() != nil {
+			if sctx.Err() != nil {
 				if !degrade {
 					break
 				}
@@ -421,7 +479,7 @@ func inferStages(ctx context.Context, sm *diffusion.StatusMatrix, imi pairSource
 			go func() {
 				defer wg.Done()
 				for i := range next {
-					if ctx.Err() != nil {
+					if sctx.Err() != nil {
 						// Drain the channel without working; in degrade
 						// mode the skipped node is reported, not lost.
 						if degrade {
@@ -442,6 +500,12 @@ func inferStages(ctx context.Context, sm *diffusion.StatusMatrix, imi pairSource
 		wg.Wait()
 	}
 	searchSpan.End()
+	hookMu.Lock()
+	ferr := hookErr
+	hookMu.Unlock()
+	if ferr != nil {
+		return nil, fmt.Errorf("core: node callback: %w", ferr)
+	}
 	if err := ctx.Err(); err != nil && !degrade {
 		return nil, fmt.Errorf("core: parent search: %w", err)
 	}

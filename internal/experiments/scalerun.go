@@ -2,10 +2,13 @@ package experiments
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
+	"os"
 	"time"
 
+	"tends/internal/chaos"
 	"tends/internal/core"
 	"tends/internal/diffusion"
 	"tends/internal/graph"
@@ -40,6 +43,29 @@ type ScaleConfig struct {
 	ShardIndex   int // see core.Options
 	ShardCount   int
 	MaxComboSize int
+
+	// Journal, when non-nil, streams the shard's results incrementally: the
+	// header is written as soon as the threshold is selected (core's
+	// OnSearchStart hook) and each node's parents as soon as its search
+	// completes (OnNodeDone) — so a killed worker leaves a resumable partial
+	// journal instead of nothing. The journal passes through the chaos
+	// SiteJournalStall/SiteShardSlow sites when an injector is attached.
+	Journal *ShardJournal
+
+	// ResumeHeader/ResumeNodes continue a partial shard journal: nodes
+	// already journaled are skipped by the search (their recorded parents
+	// are folded into the result), and the header's threshold is
+	// cross-checked bit-for-bit against the freshly selected τ — the
+	// regenerated workload must select the identical threshold, or the
+	// journal belongs to a different run. Requires Journal (the continuation
+	// is appended to it, with no second header).
+	ResumeHeader *ShardHeader
+	ResumeNodes  map[int][]int
+
+	// Attempt distinguishes supervisor restarts of the same shard in the
+	// chaos decision stream: each attempt opens a fresh scope, so an
+	// injected fault does not deterministically recur on every retry.
+	Attempt int
 
 	Obs *obs.Recorder // optional observability stream
 }
@@ -120,15 +146,40 @@ type ScaleResult struct {
 
 // RunScale executes one scale point end to end: workload generation,
 // inference (sparse or dense, optionally one shard of k), and — when
-// unsharded — scoring against the generated truth.
+// unsharded — scoring against the generated truth. With cfg.Journal set the
+// shard's header and node records stream out incrementally as the search
+// progresses; with cfg.ResumeHeader/ResumeNodes set, already-journaled
+// nodes are skipped and their recorded parents folded back in, so the
+// continuation's journal composes to the byte-identical topology a fresh
+// run would have produced.
 func RunScale(ctx context.Context, cfg ScaleConfig) (*ScaleResult, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
 	}
+	if cfg.ResumeHeader != nil && cfg.Journal == nil {
+		return nil, fmt.Errorf("scale: ResumeHeader set without Journal")
+	}
+	if h := cfg.ResumeHeader; h != nil {
+		count := cfg.ShardCount
+		if count < 1 {
+			count = 1
+		}
+		if h.N != cfg.N || h.Beta != cfg.Beta || h.Seed != cfg.Seed || h.Sparse != cfg.Sparse ||
+			h.ShardIndex != cfg.ShardIndex || h.ShardCount != count {
+			return nil, fmt.Errorf("scale: resume journal describes shard %d/%d of run (n=%d β=%d seed=%d sparse=%v), config says shard %d/%d of (n=%d β=%d seed=%d sparse=%v)",
+				h.ShardIndex, h.ShardCount, h.N, h.Beta, h.Seed, h.Sparse,
+				cfg.ShardIndex, count, cfg.N, cfg.Beta, cfg.Seed, cfg.Sparse)
+		}
+	}
 	if cfg.Obs != nil {
 		ctx = obs.With(ctx, cfg.Obs)
 	}
+	// Each (shard, attempt) pair is its own chaos decision scope: the fault
+	// sequence is reproducible at any worker count, and a restart draws a
+	// fresh stream instead of deterministically re-hitting the same fault.
+	ctx = chaos.WithScope(ctx, chaos.Tag(cfg.Seed, "scale.shard",
+		fmt.Sprintf("%d/%d", cfg.ShardIndex, cfg.ShardCount), fmt.Sprintf("attempt%d", cfg.Attempt)))
 	t0 := time.Now()
 	truth, statuses, err := BuildScaleWorkload(ctx, cfg)
 	if err != nil {
@@ -136,16 +187,76 @@ func RunScale(ctx context.Context, cfg ScaleConfig) (*ScaleResult, error) {
 	}
 	res := &ScaleResult{Truth: truth, WorkloadDur: time.Since(t0)}
 
-	t1 := time.Now()
-	inf, err := core.InferContext(ctx, statuses, core.Options{
+	opt := core.Options{
 		Workers:      cfg.Workers,
 		Sparse:       cfg.Sparse,
 		ShardIndex:   cfg.ShardIndex,
 		ShardCount:   cfg.ShardCount,
 		MaxComboSize: cfg.MaxComboSize,
-	})
+	}
+	if cfg.Journal != nil {
+		rec := obs.From(ctx)
+		resumed := cfg.ResumeNodes
+		if len(resumed) > 0 {
+			opt.SkipNodes = make(map[int]bool, len(resumed))
+			for node := range resumed {
+				opt.SkipNodes[node] = true
+			}
+			rec.Counter("scale/resume/nodes_skipped").Add(int64(len(resumed)))
+		}
+		opt.OnSearchStart = func(tau float64) error {
+			if cfg.ResumeHeader != nil {
+				// The regenerated pairwise stage must reselect the exact
+				// threshold the journal was written under, or its node
+				// records belong to a different run.
+				if tau != cfg.ResumeHeader.Threshold {
+					return fmt.Errorf("scale: resume threshold drift: journal has %v, run selected %v", cfg.ResumeHeader.Threshold, tau)
+				}
+				return nil
+			}
+			count := cfg.ShardCount
+			if count < 1 {
+				count = 1
+			}
+			return cfg.Journal.WriteHeader(ShardHeader{
+				ShardIndex: cfg.ShardIndex,
+				ShardCount: count,
+				N:          cfg.N,
+				Beta:       cfg.Beta,
+				Seed:       cfg.Seed,
+				Sparse:     cfg.Sparse,
+				Threshold:  tau,
+			})
+		}
+		opt.OnNodeDone = func(node int, parents []int) error {
+			// The straggler site slows the shard down (hedging fodder); the
+			// stall site freezes or crashes the append itself.
+			if err := chaos.Maybe(ctx, chaos.SiteShardSlow); err != nil {
+				return err
+			}
+			if err := chaos.Maybe(ctx, chaos.SiteJournalStall); err != nil {
+				return err
+			}
+			if err := cfg.Journal.AppendNode(node, parents); err != nil {
+				return err
+			}
+			rec.Counter("scale/journal/nodes").Inc()
+			return nil
+		}
+	}
+	t1 := time.Now()
+	inf, err := core.InferContext(ctx, statuses, opt)
 	if err != nil {
 		return nil, fmt.Errorf("scale: infer: %w", err)
+	}
+	// Fold the resumed nodes' recorded parents back into the result, so the
+	// continuation's in-memory topology equals what a fresh full shard run
+	// would have produced.
+	for node, parents := range cfg.ResumeNodes {
+		inf.Parents[node] = parents
+		for _, p := range parents {
+			inf.Graph.AddEdge(p, node)
+		}
 	}
 	res.Inference = inf
 	res.InferDur = time.Since(t1)
@@ -153,6 +264,54 @@ func RunScale(ctx context.Context, cfg ScaleConfig) (*ScaleResult, error) {
 		res.Score = metrics.Score(truth, inf.Graph)
 	}
 	return res, nil
+}
+
+// RunShardWorker runs one supervised shard attempt end to end: open (or
+// resume) the shard journal at path, run the shard with incremental
+// journaling, and close the journal. With resume set, a partial journal at
+// path is continued node-for-node — a torn tail (the writer was killed
+// mid-append) is truncated away first; a journal corrupted beyond that, or
+// absent, is replaced and the shard restarts from scratch (self-healing:
+// the supervisor's retry budget is better spent redoing work than dying on
+// an unreadable file). This is exactly the body of benchfig's
+// -shard -shard-resume worker mode; the supervisor's in-process launcher
+// calls it directly.
+func RunShardWorker(ctx context.Context, cfg ScaleConfig, path string, resume bool) (*ScaleResult, error) {
+	if resume {
+		rs, err := OpenShardResume(path)
+		switch {
+		case err == nil:
+			defer rs.Close()
+			cfg.Journal = rs.Journal
+			cfg.ResumeHeader = rs.Header
+			cfg.ResumeNodes = rs.Nodes
+			if cfg.Obs != nil {
+				if rs.TruncatedBytes > 0 {
+					cfg.Obs.Counter("scale/resume/torn_tail_bytes").Add(rs.TruncatedBytes)
+				}
+				cfg.Obs.Counter("scale/resume/continued").Inc()
+			}
+			return RunScale(ctx, cfg)
+		case errors.Is(err, ErrJournalCorrupt) || errors.Is(err, os.ErrNotExist):
+			// Unusable journal: fall through and start the shard fresh.
+			if cfg.Obs != nil && errors.Is(err, ErrJournalCorrupt) {
+				cfg.Obs.Counter("scale/resume/corrupt_restart").Inc()
+			}
+		default:
+			return nil, err
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Journal = OpenShardJournal(f)
+	cfg.ResumeHeader, cfg.ResumeNodes = nil, nil
+	res, err := RunScale(ctx, cfg)
+	if cerr := f.Close(); err == nil && cerr != nil {
+		return nil, cerr
+	}
+	return res, err
 }
 
 // WriteShardJournal records one shard's slice of a scale run.
@@ -215,6 +374,37 @@ func MergeScaleShards(ctx context.Context, cfg ScaleConfig, headers []*ShardHead
 	if err != nil {
 		return nil, err
 	}
+	res, err := scoreMergedShards(ctx, cfg, ref, parents)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// MergeScaleShardsDegraded is MergeScaleShards without the completeness
+// requirement: whatever shards survived compose into the best partial
+// topology, and the returned report accounts for exactly which shards and
+// nodes are missing. The partial network is still scored against the
+// regenerated truth — recall reflects the missing nodes, which is honest.
+func MergeScaleShardsDegraded(ctx context.Context, cfg ScaleConfig, headers []*ShardHeader, nodes []map[int][]int) (*MergedScaleResult, *MergeReport, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, nil, err
+	}
+	parents, ref, rep, err := MergeShardJournalsDegraded(headers, nodes)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := scoreMergedShards(ctx, cfg, ref, parents)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, rep, nil
+}
+
+// scoreMergedShards cross-checks the merged headers against the run config,
+// rebuilds the topology, and scores it against the regenerated truth.
+func scoreMergedShards(ctx context.Context, cfg ScaleConfig, ref *ShardHeader, parents [][]int) (*MergedScaleResult, error) {
 	if ref.N != cfg.N || ref.Beta != cfg.Beta || ref.Seed != cfg.Seed {
 		return nil, fmt.Errorf("merge: journals describe run (n=%d β=%d seed=%d), config says (n=%d β=%d seed=%d)",
 			ref.N, ref.Beta, ref.Seed, cfg.N, cfg.Beta, cfg.Seed)

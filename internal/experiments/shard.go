@@ -6,7 +6,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
 	"sort"
+	"strings"
 )
 
 // ShardHeader is the first record of a shard journal — one shard's slice of
@@ -28,6 +30,14 @@ type ShardHeader struct {
 	Threshold  float64 `json:"threshold"`
 }
 
+// SameRun reports whether two headers describe the same sharded run: the
+// identity fields that must match for their node records to compose.
+// Threshold is compared separately (bit-identical) by the merges.
+func (h ShardHeader) SameRun(o ShardHeader) bool {
+	return h.N == o.N && h.Beta == o.Beta && h.Seed == o.Seed &&
+		h.Sparse == o.Sparse && h.ShardCount == o.ShardCount
+}
+
 // shardNode is one node's inferred parent set. Only nodes owned by the
 // shard (node % shard_count == shard_index) appear.
 type shardNode struct {
@@ -42,13 +52,30 @@ type ShardJournal struct {
 	j *Journal
 }
 
-// NewShardJournal starts a shard journal on w by writing its header.
-func NewShardJournal(w io.Writer, h ShardHeader) (*ShardJournal, error) {
+// OpenShardJournal wraps w as a shard journal without writing anything.
+// Callers that learn the threshold mid-run (the incremental journaling path:
+// core's OnSearchStart hook fires once τ is selected) open first and call
+// WriteHeader from the hook; callers continuing an existing journal never
+// write a header at all.
+func OpenShardJournal(w io.Writer) *ShardJournal {
+	return &ShardJournal{j: ResumeJournal(w)}
+}
+
+// WriteHeader appends the journal's header record, stamping type/version.
+func (s *ShardJournal) WriteHeader(h ShardHeader) error {
 	h.Type = "shard_header"
 	h.Version = JournalVersion
-	s := &ShardJournal{j: ResumeJournal(w)}
 	if err := s.j.writeRecord(h); err != nil {
-		return nil, fmt.Errorf("write shard header: %w", err)
+		return fmt.Errorf("write shard header: %w", err)
+	}
+	return nil
+}
+
+// NewShardJournal starts a shard journal on w by writing its header.
+func NewShardJournal(w io.Writer, h ShardHeader) (*ShardJournal, error) {
+	s := OpenShardJournal(w)
+	if err := s.WriteHeader(h); err != nil {
+		return nil, err
 	}
 	return s, nil
 }
@@ -61,19 +88,48 @@ func (s *ShardJournal) AppendNode(node int, parents []int) error {
 	return s.j.writeRecord(shardNode{Type: "node", Node: node, Parents: parents})
 }
 
-// LoadShardJournal parses one shard journal. Unlike checkpoint journals,
-// shard journals feed a topology merge, so corruption is a hard error: a
-// silently dropped node record would produce a wrong final network rather
-// than a restartable cell.
-func LoadShardJournal(r io.Reader) (*ShardHeader, map[int][]int, error) {
+// tornTailPrefix marks the warning a lenient load attaches to an
+// unparseable final line — the signature of a journal cut off mid-append by
+// a kill. Resume tooling (ShardResumeOffset) treats exactly this case as
+// recoverable: truncate at the warning's offset and continue appending.
+const tornTailPrefix = "torn tail"
+
+// LoadShardJournal parses one shard journal. Shard journals feed a topology
+// merge, so damage matters more than in checkpoint journals — but the
+// supervisor must still resume a journal whose writer was killed mid-append.
+// The lenient mode (strict=false) therefore skips damaged lines, reporting
+// each with its exact line and byte position; an unparseable final line is
+// classified "torn tail" (see ShardResumeOffset), anything else is genuine
+// corruption the caller should refuse to resume from. In strict mode the
+// first damaged line is a hard error wrapping ErrJournalCorrupt. Both modes
+// hard-error on an unreadable stream, a missing header, and an incompatible
+// header version or shard identity — those make every record untrustworthy.
+func LoadShardJournal(r io.Reader, strict bool) (*ShardHeader, map[int][]int, []JournalWarning, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 64*1024), maxJournalLine)
 	var header *ShardHeader
 	nodes := make(map[int][]int)
+	var warnings []JournalWarning
 	lineNo := 0
+	var offset, lineStart int64
+	// parseFail marks warnings caused by an unparseable line; only those can
+	// be a torn tail (a line that parses but carries bad values was written
+	// whole — that is corruption, not a cut-off append).
+	var parseFail []bool
+	skip := func(unparseable bool, format string, a ...any) error {
+		w := JournalWarning{Line: lineNo, Offset: lineStart, Reason: fmt.Sprintf(format, a...)}
+		if strict {
+			return fmt.Errorf("%w: shard journal line %d (byte %d): %s", ErrJournalCorrupt, w.Line, w.Offset, w.Reason)
+		}
+		warnings = append(warnings, w)
+		parseFail = append(parseFail, unparseable)
+		return nil
+	}
 	for sc.Scan() {
 		lineNo++
 		line := sc.Bytes()
+		lineStart = offset
+		offset += int64(len(line)) + 1
 		if len(line) == 0 {
 			continue
 		}
@@ -81,54 +137,198 @@ func LoadShardJournal(r io.Reader) (*ShardHeader, map[int][]int, error) {
 			Type string `json:"type"`
 		}
 		if err := json.Unmarshal(line, &probe); err != nil {
-			return nil, nil, fmt.Errorf("shard journal line %d: %w", lineNo, err)
+			if err := skip(true, "skipping corrupt record: %v", err); err != nil {
+				return header, nodes, warnings, err
+			}
+			continue
 		}
 		switch probe.Type {
 		case "shard_header":
 			var h ShardHeader
 			if err := json.Unmarshal(line, &h); err != nil {
-				return nil, nil, fmt.Errorf("shard journal line %d: corrupt header: %w", lineNo, err)
+				if err := skip(true, "skipping corrupt header: %v", err); err != nil {
+					return header, nodes, warnings, err
+				}
+				continue
 			}
 			if header != nil {
-				return nil, nil, fmt.Errorf("shard journal line %d: duplicate header", lineNo)
+				if err := skip(false, "ignoring duplicate header"); err != nil {
+					return header, nodes, warnings, err
+				}
+				continue
 			}
 			if h.Version != JournalVersion {
-				return nil, nil, fmt.Errorf("shard journal version %d, want %d", h.Version, JournalVersion)
+				return nil, nil, warnings, fmt.Errorf("shard journal version %d, want %d", h.Version, JournalVersion)
 			}
-			if h.ShardCount < 1 || h.ShardIndex < 0 || h.ShardIndex >= h.ShardCount {
-				return nil, nil, fmt.Errorf("shard journal: invalid shard identity %d/%d", h.ShardIndex, h.ShardCount)
+			if h.ShardCount < 1 || h.ShardIndex < 0 || h.ShardIndex >= h.ShardCount ||
+				h.N < 1 {
+				return nil, nil, warnings, fmt.Errorf("shard journal: invalid shard identity %d/%d (n=%d)", h.ShardIndex, h.ShardCount, h.N)
 			}
 			header = &h
 		case "node":
 			if header == nil {
-				return nil, nil, fmt.Errorf("shard journal line %d: node record before header", lineNo)
+				if err := skip(false, "skipping node record before header"); err != nil {
+					return header, nodes, warnings, err
+				}
+				continue
 			}
 			var rec shardNode
 			if err := json.Unmarshal(line, &rec); err != nil {
-				return nil, nil, fmt.Errorf("shard journal line %d: corrupt node record: %w", lineNo, err)
+				if err := skip(true, "skipping corrupt node record: %v", err); err != nil {
+					return header, nodes, warnings, err
+				}
+				continue
 			}
 			if rec.Node < 0 || rec.Node >= header.N {
-				return nil, nil, fmt.Errorf("shard journal line %d: node %d out of range [0,%d)", lineNo, rec.Node, header.N)
+				if err := skip(false, "node %d out of range [0,%d)", rec.Node, header.N); err != nil {
+					return header, nodes, warnings, err
+				}
+				continue
 			}
 			if rec.Node%header.ShardCount != header.ShardIndex {
-				return nil, nil, fmt.Errorf("shard journal line %d: node %d does not belong to shard %d/%d",
-					lineNo, rec.Node, header.ShardIndex, header.ShardCount)
+				if err := skip(false, "node %d does not belong to shard %d/%d",
+					rec.Node, header.ShardIndex, header.ShardCount); err != nil {
+					return header, nodes, warnings, err
+				}
+				continue
 			}
 			if rec.Parents == nil {
 				rec.Parents = []int{}
 			}
 			nodes[rec.Node] = rec.Parents
 		default:
-			return nil, nil, fmt.Errorf("shard journal line %d: unknown record type %q", lineNo, probe.Type)
+			if err := skip(false, "skipping unknown record type %q", probe.Type); err != nil {
+				return header, nodes, warnings, err
+			}
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, nil, fmt.Errorf("read shard journal: %w", err)
+		return header, nodes, warnings, fmt.Errorf("read shard journal: %w", err)
+	}
+	// An unparseable final line is the expected tail of a killed writer;
+	// relabel it so resume tooling can tell it apart from mid-file damage.
+	if n := len(warnings); n > 0 && parseFail[n-1] && warnings[n-1].Line == lineNo {
+		warnings[n-1].Reason = tornTailPrefix + ": " + warnings[n-1].Reason
 	}
 	if header == nil {
-		return nil, nil, errors.New("shard journal has no header record")
+		return nil, nodes, warnings, errors.New("shard journal has no header record")
 	}
-	return header, nodes, nil
+	return header, nodes, warnings, nil
+}
+
+// ShardResumeOffset reports whether a lenient load's warnings describe only
+// a torn tail — a single unparseable final line — and if so the byte offset
+// at which truncating the file leaves a clean journal to append to. Any
+// other warning set means mid-file damage: records were lost in a way a
+// resume cannot make whole, so the shard must restart from scratch.
+func ShardResumeOffset(warnings []JournalWarning) (int64, bool) {
+	if len(warnings) == 1 && strings.HasPrefix(warnings[0].Reason, tornTailPrefix) {
+		return warnings[0].Offset, true
+	}
+	return 0, false
+}
+
+// ReadShardHeader reads only the journal's header record — the first
+// non-empty line — without parsing node records, for cheap up-front
+// validation of a shard set (which indices are present, do identities
+// match) before the expensive full loads.
+func ReadShardHeader(r io.Reader) (*ShardHeader, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), maxJournalLine)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var h ShardHeader
+		if err := json.Unmarshal(line, &h); err != nil {
+			return nil, fmt.Errorf("shard journal header: %w", err)
+		}
+		if h.Type != "shard_header" {
+			return nil, fmt.Errorf("shard journal starts with %q record, want shard_header", h.Type)
+		}
+		if h.Version != JournalVersion {
+			return nil, fmt.Errorf("shard journal version %d, want %d", h.Version, JournalVersion)
+		}
+		if h.ShardCount < 1 || h.ShardIndex < 0 || h.ShardIndex >= h.ShardCount || h.N < 1 {
+			return nil, fmt.Errorf("shard journal: invalid shard identity %d/%d (n=%d)", h.ShardIndex, h.ShardCount, h.N)
+		}
+		return &h, nil
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("read shard journal: %w", err)
+	}
+	return nil, errors.New("shard journal has no header record")
+}
+
+// ResumedShard is a partial shard journal reopened for node-level
+// continuation: the header and completed nodes already on disk, plus a
+// journal positioned to append the rest.
+type ResumedShard struct {
+	Header *ShardHeader
+	Nodes  map[int][]int
+	// TruncatedBytes is how much torn tail was cut before reopening for
+	// append (0 when the journal ended cleanly).
+	TruncatedBytes int64
+
+	Journal *ShardJournal
+	f       *os.File
+}
+
+// Close closes the underlying journal file.
+func (r *ResumedShard) Close() error { return r.f.Close() }
+
+// OpenShardResume reopens a partial shard journal for continuation. A torn
+// final line — the normal tail of a worker killed mid-append — is truncated
+// away so the continuation starts on a record boundary; any other damage
+// (mid-file corruption, a missing header) is an error wrapping
+// ErrJournalCorrupt, and the caller should restart the shard from scratch.
+func OpenShardResume(path string) (*ResumedShard, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	header, nodes, warnings, err := LoadShardJournal(f, false)
+	if err != nil {
+		f.Close()
+		if header == nil {
+			return nil, fmt.Errorf("%w: resume %s: %v", ErrJournalCorrupt, path, err)
+		}
+		return nil, fmt.Errorf("resume %s: %w", path, err)
+	}
+	if header == nil {
+		f.Close()
+		return nil, fmt.Errorf("%w: resume %s: journal has no header record", ErrJournalCorrupt, path)
+	}
+	var cut int64
+	if len(warnings) > 0 {
+		off, torn := ShardResumeOffset(warnings)
+		if !torn {
+			f.Close()
+			return nil, fmt.Errorf("%w: resume %s: %s", ErrJournalCorrupt, path, warnings[0])
+		}
+		end, serr := f.Seek(0, io.SeekEnd)
+		if serr != nil {
+			f.Close()
+			return nil, serr
+		}
+		if err := f.Truncate(off); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("resume %s: truncate torn tail: %w", path, err)
+		}
+		cut = end - off
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &ResumedShard{
+		Header:         header,
+		Nodes:          nodes,
+		TruncatedBytes: cut,
+		Journal:        OpenShardJournal(f),
+		f:              f,
+	}, nil
 }
 
 // MergeShardJournals validates a set of parsed shard journals and composes
@@ -147,8 +347,7 @@ func MergeShardJournals(headers []*ShardHeader, nodes []map[int][]int) ([][]int,
 	ref := headers[0]
 	seen := make(map[int]bool, len(headers))
 	for _, h := range headers {
-		if h.N != ref.N || h.Beta != ref.Beta || h.Seed != ref.Seed ||
-			h.Sparse != ref.Sparse || h.ShardCount != ref.ShardCount {
+		if !h.SameRun(*ref) {
 			return nil, nil, fmt.Errorf("merge: shard %d/%d ran a different configuration than shard %d/%d",
 				h.ShardIndex, h.ShardCount, ref.ShardIndex, ref.ShardCount)
 		}
@@ -177,11 +376,105 @@ func MergeShardJournals(headers []*ShardHeader, nodes []map[int][]int) ([][]int,
 			parents[node] = ps
 		}
 		// Each shard owns ceil/floor of N/k nodes; verify it reported all.
-		owned := (ref.N - h.ShardIndex + ref.ShardCount - 1) / ref.ShardCount
+		owned := ShardOwnedNodes(ref.N, h.ShardIndex, ref.ShardCount)
 		if len(nodes[si]) != owned {
 			return nil, nil, fmt.Errorf("merge: shard %d reported %d nodes, owns %d — journal truncated?",
 				h.ShardIndex, len(nodes[si]), owned)
 		}
 	}
 	return parents, ref, nil
+}
+
+// ShardOwnedNodes is how many of n nodes shard index owns under i-mod-count
+// ownership.
+func ShardOwnedNodes(n, index, count int) int {
+	if count < 1 {
+		count = 1
+	}
+	return (n - index + count - 1) / count
+}
+
+// MergeReport is the structured accounting of a degraded merge: which
+// shards contributed, which are absent, and exactly which nodes the partial
+// topology is missing — the supervisor's analogue of core's Degraded
+// report. MergedNodes + len(MissingNodes) always equals N.
+type MergeReport struct {
+	N             int   `json:"n"`
+	ShardCount    int   `json:"shard_count"`
+	PresentShards []int `json:"present_shards"`
+	MissingShards []int `json:"missing_shards"`
+	MergedNodes   int   `json:"merged_nodes"`
+	MissingNodes  []int `json:"missing_nodes"`
+	Complete      bool  `json:"complete"`
+}
+
+// MergeShardJournalsDegraded composes whatever shard journals survived into
+// the best partial topology available, with an explicit report of what is
+// missing. Unlike the strict MergeShardJournals it tolerates absent shards,
+// truncated journals, and duplicate shard indices (hedged attempts produce
+// two journals for one shard; node results are deterministic, so duplicates
+// must agree — disagreement is still a hard error, as are mismatched run
+// identities and thresholds). Missing nodes keep empty parent sets in the
+// returned array and are listed, ascending, in the report.
+func MergeShardJournalsDegraded(headers []*ShardHeader, nodes []map[int][]int) ([][]int, *ShardHeader, *MergeReport, error) {
+	if len(headers) == 0 {
+		return nil, nil, nil, errors.New("merge: no shard journals")
+	}
+	if len(headers) != len(nodes) {
+		return nil, nil, nil, fmt.Errorf("merge: %d headers but %d node sets", len(headers), len(nodes))
+	}
+	ref := headers[0]
+	present := make(map[int]bool, len(headers))
+	merged := make(map[int][]int)
+	for si, h := range headers {
+		if !h.SameRun(*ref) {
+			return nil, nil, nil, fmt.Errorf("merge: shard %d/%d ran a different configuration than shard %d/%d",
+				h.ShardIndex, h.ShardCount, ref.ShardIndex, ref.ShardCount)
+		}
+		if h.Threshold != ref.Threshold {
+			return nil, nil, nil, fmt.Errorf("merge: shard %d selected threshold %v, shard %d selected %v — pairwise stages disagree",
+				h.ShardIndex, h.Threshold, ref.ShardIndex, ref.Threshold)
+		}
+		present[h.ShardIndex] = true
+		for node, ps := range nodes[si] {
+			if prev, ok := merged[node]; ok {
+				if !equalInts(prev, ps) {
+					return nil, nil, nil, fmt.Errorf("merge: duplicate journals disagree on node %d's parents (%v vs %v)", node, prev, ps)
+				}
+				continue
+			}
+			merged[node] = ps
+		}
+	}
+	rep := &MergeReport{N: ref.N, ShardCount: ref.ShardCount, MergedNodes: len(merged)}
+	for i := 0; i < ref.ShardCount; i++ {
+		if present[i] {
+			rep.PresentShards = append(rep.PresentShards, i)
+		} else {
+			rep.MissingShards = append(rep.MissingShards, i)
+		}
+	}
+	parents := make([][]int, ref.N)
+	for i := 0; i < ref.N; i++ {
+		if ps, ok := merged[i]; ok {
+			parents[i] = ps
+		} else {
+			rep.MissingNodes = append(rep.MissingNodes, i)
+		}
+	}
+	rep.Complete = len(rep.MissingNodes) == 0 && len(rep.MissingShards) == 0
+	return parents, ref, rep, nil
+}
+
+// equalInts reports whether two int slices hold the same sequence.
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }

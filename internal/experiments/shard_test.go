@@ -33,9 +33,12 @@ func runShardedScale(t *testing.T, cfg ScaleConfig, k int) *MergedScaleResult {
 		if err := WriteShardJournal(j, scfg, res); err != nil {
 			t.Fatal(err)
 		}
-		h, nodes, err := LoadShardJournal(&buf)
+		h, nodes, warnings, err := LoadShardJournal(&buf, true)
 		if err != nil {
 			t.Fatalf("load shard %d/%d: %v", shard, k, err)
+		}
+		if len(warnings) != 0 {
+			t.Fatalf("load shard %d/%d: unexpected warnings %v", shard, k, warnings)
 		}
 		headers = append(headers, h)
 		nodeSets = append(nodeSets, nodes)
@@ -142,7 +145,7 @@ func TestShardJournalValidation(t *testing.T) {
 		if err := WriteShardJournal(j, scfg, res); err != nil {
 			t.Fatal(err)
 		}
-		h, nodes, err := LoadShardJournal(&buf)
+		h, nodes, _, err := LoadShardJournal(&buf, true)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -193,7 +196,7 @@ func TestShardJournalValidation(t *testing.T) {
 	if err := j.AppendNode(1, nil); err != nil { // node 1 belongs to shard 1
 		t.Fatal(err)
 	}
-	if _, _, err := LoadShardJournal(&buf); err == nil || !strings.Contains(err.Error(), "does not belong") {
+	if _, _, _, err := LoadShardJournal(&buf, true); err == nil || !strings.Contains(err.Error(), "does not belong") {
 		t.Fatalf("foreign node record not detected: %v", err)
 	}
 }

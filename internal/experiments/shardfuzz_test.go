@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzLoadShardJournal feeds arbitrary bytes to the shard-journal parser:
+// malformed journals must come back as errors or positioned skip-warnings,
+// never a panic — and the torn-tail classification must stay coherent with
+// the resume contract (exactly one unparseable final line, truncation offset
+// inside the input).
+func FuzzLoadShardJournal(f *testing.F) {
+	f.Add([]byte(`{"type":"shard_header","version":1,"shard_index":0,"shard_count":2,"n":10,"beta":8,"seed":3}` + "\n" +
+		`{"type":"node","node":0,"parents":[2,4]}` + "\n" +
+		`{"type":"node","node":2,"parents":[]}` + "\n"))
+	f.Add([]byte(`{"type":"shard_header","version":1,"shard_index":0,"shard_count":1,"n":4}` + "\n" + `{"type":"node","no`))
+	f.Add([]byte(`{"type":"node","node":1,"parents":[]}`))
+	f.Add([]byte("\n\nnot json\n"))
+	f.Add([]byte(`{"type":"shard_header","version":9,"shard_index":0,"shard_count":1,"n":4}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		header, nodes, warnings, err := LoadShardJournal(bytes.NewReader(data), false)
+		_, _, _, strictErr := LoadShardJournal(bytes.NewReader(data), true)
+		for _, w := range warnings {
+			if w.Line < 1 || w.Offset < 0 || w.Offset > int64(len(data)) {
+				t.Fatalf("warning position out of range: %+v (input %d bytes)", w, len(data))
+			}
+		}
+		if off, torn := ShardResumeOffset(warnings); torn {
+			if off < 0 || off > int64(len(data)) {
+				t.Fatalf("torn-tail offset %d outside input of %d bytes", off, len(data))
+			}
+			if !strings.HasPrefix(warnings[0].Reason, "torn tail") {
+				t.Fatalf("resume offset from non-torn warning: %+v", warnings[0])
+			}
+		}
+		if err != nil {
+			return
+		}
+		if header == nil {
+			t.Fatal("nil header without error")
+		}
+		for node, parents := range nodes {
+			if node < 0 || node >= header.N {
+				t.Fatalf("out-of-range node %d survived validation (n=%d)", node, header.N)
+			}
+			if node%header.ShardCount != header.ShardIndex {
+				t.Fatalf("foreign node %d survived validation (shard %d/%d)", node, header.ShardIndex, header.ShardCount)
+			}
+			if parents == nil {
+				t.Fatalf("node %d has nil parents", node)
+			}
+		}
+		// Policy consistency with the checkpoint loader: warning-free lenient
+		// loads must pass strict, and any warning must fail it.
+		if len(warnings) == 0 && strictErr != nil {
+			t.Fatalf("warning-free journal fails strict load: %v", strictErr)
+		}
+		if len(warnings) > 0 && strictErr == nil {
+			t.Fatalf("journal with %d warnings passes strict load", len(warnings))
+		}
+	})
+}

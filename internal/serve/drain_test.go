@@ -1,0 +1,98 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// staleConfig is a config whose background recompute never catches up on its
+// own (huge debounce), so acked rows are guaranteed to leave work for the
+// final drain recompute.
+func staleConfig(dir string, n int) Config {
+	cfg := testConfig(dir, n)
+	cfg.Debounce = time.Hour
+	cfg.MaxLag = time.Hour
+	return cfg
+}
+
+// TestDrainStatus checks the durability position the shutdown summary
+// reports: acked rows counted, empty queue after quiesce, WAL holding the
+// acked rows.
+func TestDrainStatus(t *testing.T) {
+	const n, beta = 24, 40
+	rows := testRows(3, beta, n)
+	s, hs := newTestServer(t, testConfig(t.TempDir(), n))
+	if code, _ := postIngest(t, hs.URL, 1, rows); code != 200 {
+		t.Fatalf("ingest status %d", code)
+	}
+	st := s.DrainStatus()
+	if st.RowsAcked != beta || st.QueueRows != 0 {
+		t.Fatalf("status after ingest: %+v", st)
+	}
+	if st.WALRows != int64(beta) || st.WALBytes <= 0 {
+		t.Fatalf("WAL position: %+v", st)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// After a clean drain the snapshot absorbed the rows and the WAL reset.
+	st = s.DrainStatus()
+	if st.RowsAcked != beta || st.WALRows != 0 {
+		t.Fatalf("status after drain: %+v", st)
+	}
+}
+
+// TestDrainExpiredBudget checks the breach mechanics: a drain whose budget
+// is already gone cancels the final recompute and reports it, while the
+// acked rows stay durable and DrainStatus stays usable for the summary.
+func TestDrainExpiredBudget(t *testing.T) {
+	const n, beta = 24, 40
+	rows := testRows(3, beta, n)
+	s, hs := newTestServer(t, staleConfig(t.TempDir(), n))
+	if code, _ := postIngest(t, hs.URL, 1, rows); code != 200 {
+		t.Fatalf("ingest status %d", code)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // the budget expired before the drain started
+	err := s.Drain(ctx)
+	if err == nil || !strings.Contains(err.Error(), "drain recompute") {
+		t.Fatalf("expired-budget drain error = %v, want cancelled recompute", err)
+	}
+	st := s.DrainStatus()
+	if st.RowsAcked != beta || st.WALRows != int64(beta) {
+		t.Fatalf("durability position lost on breach: %+v", st)
+	}
+}
+
+// TestServeDrainDeadline checks the operator-facing contract end to end:
+// Serve under a hopeless drain budget returns an error wrapping
+// ErrDrainDeadline, which is what cmd/tendsd keys its summary and exit code
+// on.
+func TestServeDrainDeadline(t *testing.T) {
+	const n, beta = 24, 40
+	rows := testRows(3, beta, n)
+	cfg := staleConfig(t.TempDir(), n)
+	cfg.DrainTimeout = time.Nanosecond
+	s, hs := newTestServer(t, cfg)
+	if code, _ := postIngest(t, hs.URL, 1, rows); code != 200 {
+		t.Fatalf("ingest status %d", code)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- s.Serve(ctx, "127.0.0.1:0") }()
+	time.Sleep(50 * time.Millisecond) // let the listener come up
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrDrainDeadline) {
+			t.Fatalf("Serve error = %v, want ErrDrainDeadline", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Serve did not return after drain deadline")
+	}
+}

@@ -7,7 +7,6 @@ import (
 	"io"
 	"net/http"
 	"strconv"
-	"time"
 
 	"tends/internal/chaos"
 	"tends/internal/graph"
@@ -292,11 +291,14 @@ func (s *Server) Serve(ctx context.Context, addr string) error {
 	case <-ctx.Done():
 	}
 	s.cfg.Logf("serve: draining")
-	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	shutCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
 	defer cancel()
 	drainErr := s.Drain(shutCtx)
 	if err := hs.Shutdown(shutCtx); err != nil && drainErr == nil {
 		drainErr = err
+	}
+	if drainErr != nil && shutCtx.Err() != nil {
+		return fmt.Errorf("%w (budget %v): %v", ErrDrainDeadline, s.cfg.DrainTimeout, drainErr)
 	}
 	s.cfg.Logf("serve: drained (%d rows acked)", s.Rows())
 	return drainErr

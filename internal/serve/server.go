@@ -61,6 +61,11 @@ type Config struct {
 	// SnapshotEvery persists a snapshot (and resets the WAL) every this
 	// many newly acked rows. 0 snapshots only on drain.
 	SnapshotEvery int
+	// DrainTimeout bounds the graceful drain Serve performs on shutdown
+	// (queued batches committing, the final recompute, the snapshot). A
+	// breach surfaces as an error wrapping ErrDrainDeadline so the operator
+	// surface can report what was left behind. Default 30s.
+	DrainTimeout time.Duration
 
 	// StrictWAL refuses to start on a torn or corrupt WAL tail instead of
 	// truncating it — the -resume-strict of the service world.
@@ -91,6 +96,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxLag == 0 {
 		c.MaxLag = 2 * time.Second
+	}
+	if c.DrainTimeout == 0 {
+		c.DrainTimeout = DefaultDrainTimeout
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
@@ -583,6 +591,49 @@ func (s *Server) persistSnapshot() error {
 	return nil
 }
 
+// DefaultDrainTimeout is the drain budget applied when Config.DrainTimeout
+// is zero.
+const DefaultDrainTimeout = 30 * time.Second
+
+// ErrDrainDeadline marks a graceful drain that ran out of its budget: the
+// topology, snapshot, or WAL close did not finish in time. Acked rows are
+// still durable in the WAL; only the final recompute/snapshot convenience
+// was lost. Serve's error wraps this sentinel on a breach.
+var ErrDrainDeadline = errors.New("serve: drain deadline exceeded")
+
+// DrainStatus is the server's durability position, for the structured
+// shutdown summary an operator surface prints when a drain breaches its
+// deadline: what was acked, what was still queued (and therefore dropped
+// unacked), and where the WAL stands.
+type DrainStatus struct {
+	// RowsAcked is how many rows were acked (durable; survives kill -9).
+	RowsAcked uint64 `json:"rows_acked"`
+	// QueueRows is how many rows were still queued for commit — their
+	// clients never got an ack, so dropping them is contractually safe.
+	QueueRows int64 `json:"queue_rows"`
+	// WALRows and WALBytes are the write-ahead log's position: rows
+	// appended since its base snapshot, and its byte size.
+	WALRows  int64 `json:"wal_rows"`
+	WALBytes int64 `json:"wal_bytes"`
+}
+
+// DrainStatus reports the current durability position. Safe to call at any
+// point, including after a failed or timed-out drain.
+func (s *Server) DrainStatus() DrainStatus {
+	s.walMu.Lock()
+	wr, wb := s.wal.Rows(), s.wal.Size()
+	s.walMu.Unlock()
+	s.mu.Lock()
+	acked := uint64(s.buf.Beta())
+	s.mu.Unlock()
+	return DrainStatus{
+		RowsAcked: acked,
+		QueueRows: s.queueRows.Load(),
+		WALRows:   wr,
+		WALBytes:  wb,
+	}
+}
+
 // Drain gracefully stops the server: new ingests are rejected, the queued
 // batches commit and ack, the in-flight recompute finishes, a final
 // recompute brings the topology current, and a snapshot is persisted. Safe
@@ -601,7 +652,14 @@ func (s *Server) Drain(ctx context.Context) error {
 		<-s.recomputeDone
 
 		// Final recompute over everything acked, chaos-exempt: injected
-		// faults must not be able to block shutdown.
+		// faults must not be able to block shutdown. The synchronous budget
+		// check matters: AfterFunc delivers an already-expired ctx's
+		// cancellation asynchronously, and a small recompute could win that
+		// race and mask the breach.
+		if err := ctx.Err(); err != nil {
+			s.drainErr = fmt.Errorf("serve: drain recompute: %w", err)
+			return
+		}
 		dctx, dcancel := context.WithCancel(s.values)
 		defer dcancel()
 		stop := context.AfterFunc(ctx, dcancel)

@@ -1,0 +1,77 @@
+package supervise
+
+import (
+	"context"
+	"io"
+	"os/exec"
+	"sync"
+)
+
+// ProcLauncher launches workers as subprocesses — the production mode,
+// where benchfig re-execs itself with -scale -shard i/k flags. Kill sends
+// SIGKILL: the supervisor's whole failure model assumes workers die without
+// any chance to clean up, and the journal resume path makes that safe.
+type ProcLauncher struct {
+	// Command builds one attempt's argv; Command(a)[0] is the binary path.
+	Command func(a Attempt) []string
+	// Stdout/Stderr receive the worker's output streams (nil discards).
+	Stdout, Stderr io.Writer
+}
+
+// Start launches the subprocess. The context is deliberately not wired into
+// the process (no exec.CommandContext): the supervisor owns termination
+// through Kill, and on its own cancellation it kills workers explicitly.
+func (l ProcLauncher) Start(_ context.Context, a Attempt) (Handle, error) {
+	argv := l.Command(a)
+	cmd := exec.Command(argv[0], argv[1:]...)
+	cmd.Stdout = l.Stdout
+	cmd.Stderr = l.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	return &procHandle{cmd: cmd}, nil
+}
+
+type procHandle struct {
+	cmd *exec.Cmd
+}
+
+func (h *procHandle) Wait() error { return h.cmd.Wait() }
+
+func (h *procHandle) Kill() {
+	if p := h.cmd.Process; p != nil {
+		_ = p.Kill() // SIGKILL; racing an exited process returns an ignorable error
+	}
+}
+
+// FuncLauncher runs workers as in-process goroutines — the test mode, where
+// chaos sites, clocks, and journals stay inside one process. Kill is
+// cooperative (context cancellation), so in-process workers cannot produce
+// torn journal tails; the subprocess tests cover those.
+type FuncLauncher struct {
+	Run func(ctx context.Context, a Attempt) error
+}
+
+func (l FuncLauncher) Start(ctx context.Context, a Attempt) (Handle, error) {
+	wctx, cancel := context.WithCancel(ctx)
+	h := &funcHandle{cancel: cancel, done: make(chan struct{})}
+	go func() {
+		defer close(h.done)
+		h.err = l.Run(wctx, a)
+	}()
+	return h, nil
+}
+
+type funcHandle struct {
+	cancel context.CancelFunc
+	done   chan struct{}
+	err    error
+	once   sync.Once
+}
+
+func (h *funcHandle) Wait() error {
+	<-h.done
+	return h.err
+}
+
+func (h *funcHandle) Kill() { h.once.Do(h.cancel) }
